@@ -1,0 +1,133 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "circuit/generator.hpp"
+#include "util/check.hpp"
+
+namespace pls::bench {
+
+void add_common_flags(util::Cli& cli) {
+  cli.add_flag("scale", "circuit size multiplier (1.0 = paper sizes)", "1.0");
+  cli.add_flag("end", "virtual-time horizon", "1200");
+  cli.add_flag("repeats", "runs averaged per cell", "1");
+  cli.add_flag("seed", "master seed", "2000");
+  cli.add_flag("csv", "directory for CSV output", ".");
+  cli.add_flag("event-cost-ns", "CPU cost per event batch", "2000");
+  cli.add_flag("send-overhead-ns", "CPU cost per inter-node message",
+               "1500");
+  cli.add_flag("latency-ns", "inter-node delivery latency", "25000");
+  cli.add_flag("window", "optimism window in virtual time (0 = unbounded)",
+               "0");
+  cli.add_flag("gvt-us", "wall-clock microseconds between GVT rounds",
+               "2000");
+  cli.add_flag("stim-period", "virtual time between input vectors", "50");
+  cli.add_flag("clock-period", "flip-flop clock period", "10");
+}
+
+BenchConfig config_from_cli(const util::Cli& cli) {
+  BenchConfig cfg;
+  cfg.scale = cli.get_double("scale");
+  cfg.end_time = static_cast<warped::SimTime>(cli.get_int("end"));
+  cfg.repeats = static_cast<std::uint32_t>(cli.get_int("repeats"));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  cfg.csv_dir = cli.get("csv");
+  cfg.event_cost_ns = static_cast<std::uint64_t>(cli.get_int("event-cost-ns"));
+  cfg.send_overhead_ns =
+      static_cast<std::uint64_t>(cli.get_int("send-overhead-ns"));
+  cfg.latency_ns = static_cast<std::uint64_t>(cli.get_int("latency-ns"));
+  cfg.optimism_window = static_cast<std::uint64_t>(cli.get_int("window"));
+  cfg.gvt_interval_us = static_cast<std::uint64_t>(cli.get_int("gvt-us"));
+  cfg.stim_period = static_cast<warped::SimTime>(cli.get_int("stim-period"));
+  cfg.clock_period =
+      static_cast<warped::SimTime>(cli.get_int("clock-period"));
+  PLS_CHECK_MSG(cfg.scale > 0.0 && cfg.scale <= 4.0,
+                "--scale must be in (0, 4]");
+  PLS_CHECK_MSG(cfg.repeats >= 1, "--repeats must be >= 1");
+  return cfg;
+}
+
+circuit::Circuit make_benchmark(const std::string& name,
+                                const BenchConfig& cfg) {
+  circuit::GeneratorSpec spec = circuit::iscas_spec(name, cfg.seed);
+  if (cfg.scale != 1.0) {
+    auto scaled = [&](std::size_t n) {
+      return std::max<std::size_t>(
+          4, static_cast<std::size_t>(static_cast<double>(n) * cfg.scale));
+    };
+    spec.num_comb_gates = scaled(spec.num_comb_gates);
+    spec.num_dffs = scaled(spec.num_dffs);
+    spec.num_inputs = std::max<std::size_t>(4, spec.num_inputs);
+    spec.num_outputs =
+        std::min(spec.num_outputs, spec.num_comb_gates / 4 + 1);
+  }
+  return circuit::generate(spec);
+}
+
+const std::vector<std::string>& strategies() {
+  static const std::vector<std::string> kOrder = {
+      "Random", "DFS", "Cluster", "Topological", "Multilevel",
+      "ConePartition"};
+  return kOrder;
+}
+
+framework::DriverConfig driver_config(const BenchConfig& cfg,
+                                      const std::string& partitioner,
+                                      std::uint32_t nodes) {
+  framework::DriverConfig dc;
+  dc.partitioner = partitioner;
+  dc.num_nodes = nodes;
+  dc.seed = cfg.seed;
+  dc.end_time = cfg.end_time;
+  dc.event_cost_ns = cfg.event_cost_ns;
+  dc.send_overhead_ns = cfg.send_overhead_ns;
+  dc.latency_ns = cfg.latency_ns;
+  dc.optimism_window = cfg.optimism_window;
+  dc.gvt_interval_us = cfg.gvt_interval_us;
+  dc.model.stim_period = cfg.stim_period;
+  dc.model.clock_period = cfg.clock_period;
+  dc.model.clock_phase = cfg.clock_period / 2;
+  dc.max_live_entries_per_node = cfg.max_live_entries_per_node;
+  return dc;
+}
+
+AveragedRun run_parallel_averaged(const circuit::Circuit& c,
+                                  const BenchConfig& cfg,
+                                  const std::string& partitioner,
+                                  std::uint32_t nodes) {
+  AveragedRun avg;
+  for (std::uint32_t r = 0; r < cfg.repeats; ++r) {
+    framework::DriverConfig dc = driver_config(cfg, partitioner, nodes);
+    dc.seed = cfg.seed + r;  // paper: repeated five times, averaged
+    framework::DriverResult res = framework::run_parallel(c, dc);
+    avg.wall_seconds += res.run.wall_seconds;
+    avg.app_messages +=
+        static_cast<double>(res.run.totals.inter_node_messages);
+    avg.rollbacks += static_cast<double>(res.run.totals.total_rollbacks());
+    avg.committed += static_cast<double>(res.run.totals.events_committed);
+    avg.anti_messages +=
+        static_cast<double>(res.run.totals.anti_messages_sent);
+    avg.out_of_memory |= res.run.out_of_memory;
+    avg.last = std::move(res);
+  }
+  const double n = static_cast<double>(cfg.repeats);
+  avg.wall_seconds /= n;
+  avg.app_messages /= n;
+  avg.rollbacks /= n;
+  avg.committed /= n;
+  avg.anti_messages /= n;
+  return avg;
+}
+
+double run_sequential_averaged(const circuit::Circuit& c,
+                               const BenchConfig& cfg) {
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < cfg.repeats; ++r) {
+    framework::DriverConfig dc = driver_config(cfg, "Multilevel", 1);
+    dc.seed = cfg.seed + r;
+    total += framework::run_sequential(c, dc).wall_seconds;
+  }
+  return total / static_cast<double>(cfg.repeats);
+}
+
+}  // namespace pls::bench

@@ -1,0 +1,97 @@
+#pragma once
+// Shared infrastructure for the paper-reproduction harnesses.
+//
+// Every table/figure binary uses the same calibrated "modeled NOW"
+// configuration (DESIGN.md §3.2) and the same circuit construction, so the
+// numbers across tables and figures are mutually consistent, exactly as
+// they were produced by one testbed in the paper.
+//
+// Common flags (all binaries):
+//   --scale S     shrink circuits to S × their published size (default 1.0;
+//                 use 0.25 for a quick smoke run)
+//   --end T       virtual-time horizon (default 1200)
+//   --repeats N   runs averaged per cell (paper used 5; default 1 here)
+//   --seed X      master seed
+//   --csv DIR     directory for CSV output (default ".")
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "framework/driver.hpp"
+#include "util/cli.hpp"
+
+namespace pls::bench {
+
+struct BenchConfig {
+  double scale = 1.0;
+  warped::SimTime end_time = 1200;
+  std::uint32_t repeats = 1;
+  std::uint64_t seed = 2000;
+  std::string csv_dir = ".";
+
+  // Modeled-testbed calibration: event grain ≈ 2 µs (generated VHDL process
+  // execution), message overhead ≈ 1.5 µs, wire latency ≈ 25 µs — the
+  // fast-Ethernet regime where one cut signal costs ~a dozen event grains.
+  std::uint64_t event_cost_ns = 2000;
+  std::uint64_t send_overhead_ns = 1500;
+  std::uint64_t latency_ns = 25000;
+
+  /// Optimism window in virtual-time units (0 = unbounded Time Warp);
+  /// see KernelConfig::optimism_window.
+  std::uint64_t optimism_window = 0;
+
+  /// Wall-clock microseconds between GVT rounds.
+  std::uint64_t gvt_interval_us = 2000;
+
+  /// Gate-level model timing (see logicsim::ModelOptions).
+  warped::SimTime stim_period = 50;
+  warped::SimTime clock_period = 10;
+
+  /// Per-node live-entry cap (0 = unlimited); emulates the paper's 128 MB
+  /// workstations for the Table 2 out-of-memory cell.
+  std::size_t max_live_entries_per_node = 0;
+};
+
+/// Register the common flags on a Cli.
+void add_common_flags(util::Cli& cli);
+
+/// Extract a BenchConfig after cli.parse().
+BenchConfig config_from_cli(const util::Cli& cli);
+
+/// The paper's three benchmarks, scaled.  scale=1 reproduces Table 1's
+/// exact interface counts.
+circuit::Circuit make_benchmark(const std::string& name,
+                                const BenchConfig& cfg);
+
+/// The six strategies in the paper's presentation order.
+const std::vector<std::string>& strategies();
+
+/// Driver config preset for one parallel run.
+framework::DriverConfig driver_config(const BenchConfig& cfg,
+                                      const std::string& partitioner,
+                                      std::uint32_t nodes);
+
+/// Averaged parallel run (repeats > 1 reruns with distinct stimulus seeds,
+/// like the paper's five-repetition averages).
+struct AveragedRun {
+  double wall_seconds = 0.0;
+  double app_messages = 0.0;
+  double rollbacks = 0.0;
+  double committed = 0.0;
+  double anti_messages = 0.0;
+  bool out_of_memory = false;
+  framework::DriverResult last;  ///< static metrics of the last repeat
+};
+
+AveragedRun run_parallel_averaged(const circuit::Circuit& c,
+                                  const BenchConfig& cfg,
+                                  const std::string& partitioner,
+                                  std::uint32_t nodes);
+
+/// Averaged sequential reference run.
+double run_sequential_averaged(const circuit::Circuit& c,
+                               const BenchConfig& cfg);
+
+}  // namespace pls::bench

@@ -1,0 +1,59 @@
+// Reproduces paper Figure 4: "Execution times of s9234" — wall-clock
+// simulation time versus number of nodes (1..8) for all six partitioning
+// strategies, with the sequential simulator as the horizontal reference.
+//
+// Expected shape (paper §5): the multilevel algorithm outperforms all other
+// strategies once more than 4 nodes are involved; Cluster and DFS
+// deteriorate with node count (lack of concurrency); Topological is limited
+// by communication.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pls;
+
+  util::Cli cli("Figure 4 — execution times of s9234 vs number of nodes");
+  bench::add_common_flags(cli);
+  cli.add_flag("max-nodes", "largest node count", "8");
+  cli.add_flag("circuit", "benchmark to sweep", "s9234");
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::BenchConfig cfg = bench::config_from_cli(cli);
+  const auto max_nodes =
+      static_cast<std::uint32_t>(cli.get_int("max-nodes"));
+  const std::string circuit_name = cli.get("circuit");
+
+  const circuit::Circuit c = bench::make_benchmark(circuit_name, cfg);
+  const double seq = bench::run_sequential_averaged(c, cfg);
+  std::printf("%s sequential reference: %.2fs\n", circuit_name.c_str(), seq);
+
+  std::vector<std::string> header{"Nodes", "Sequential"};
+  for (const auto& s : bench::strategies()) header.push_back(s);
+  util::AsciiTable table(header);
+  util::CsvWriter csv(cfg.csv_dir + "/fig4_execution_time.csv",
+                      {"circuit", "nodes", "strategy", "seconds",
+                       "seq_seconds"});
+
+  for (std::uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
+    std::vector<std::string> row{std::to_string(nodes),
+                                 util::AsciiTable::num(seq)};
+    for (const auto& strategy : bench::strategies()) {
+      const auto avg =
+          bench::run_parallel_averaged(c, cfg, strategy, nodes);
+      row.push_back(util::AsciiTable::num(avg.wall_seconds));
+      csv.row({circuit_name, std::to_string(nodes), strategy,
+               util::AsciiTable::num(avg.wall_seconds, 4),
+               util::AsciiTable::num(seq, 4)});
+      std::fflush(stdout);
+    }
+    table.add_row(row);
+  }
+
+  std::printf("Figure 4 — %s execution times (seconds)\n%s",
+              circuit_name.c_str(), table.render().c_str());
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

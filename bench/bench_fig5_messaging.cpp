@@ -1,0 +1,55 @@
+// Reproduces paper Figure 5: "Messaging statistics for s9234 model" —
+// the number of inter-node application messages versus node count for all
+// six partitioning strategies.
+//
+// Expected shape (paper §5): the multilevel algorithm reduces communication
+// in the 8–16 processor (4–8 node) region; the Cone partitioner is also
+// low; the Topological partitioner's large edge cut makes it the heaviest.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pls;
+
+  util::Cli cli("Figure 5 — application messages of s9234 vs nodes");
+  bench::add_common_flags(cli);
+  cli.add_flag("max-nodes", "largest node count", "8");
+  cli.add_flag("circuit", "benchmark to sweep", "s9234");
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::BenchConfig cfg = bench::config_from_cli(cli);
+  const auto max_nodes =
+      static_cast<std::uint32_t>(cli.get_int("max-nodes"));
+  const std::string circuit_name = cli.get("circuit");
+
+  const circuit::Circuit c = bench::make_benchmark(circuit_name, cfg);
+
+  std::vector<std::string> header{"Nodes"};
+  for (const auto& s : bench::strategies()) header.push_back(s);
+  util::AsciiTable table(header);
+  util::CsvWriter csv(cfg.csv_dir + "/fig5_messaging.csv",
+                      {"circuit", "nodes", "strategy", "app_messages",
+                       "anti_messages", "static_comm_volume"});
+
+  for (std::uint32_t nodes = 2; nodes <= max_nodes; ++nodes) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (const auto& strategy : bench::strategies()) {
+      const auto avg =
+          bench::run_parallel_averaged(c, cfg, strategy, nodes);
+      row.push_back(util::AsciiTable::num(avg.app_messages, 0));
+      csv.row({circuit_name, std::to_string(nodes), strategy,
+               util::AsciiTable::num(avg.app_messages, 0),
+               util::AsciiTable::num(avg.anti_messages, 0),
+               std::to_string(avg.last.comm_volume)});
+    }
+    table.add_row(row);
+  }
+
+  std::printf("Figure 5 — %s application messages\n%s",
+              circuit_name.c_str(), table.render().c_str());
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

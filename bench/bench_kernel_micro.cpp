@@ -1,0 +1,163 @@
+// Google-benchmark micro measurements of the kernel's primitive costs:
+// gate evaluation, event queue insertion, batch commit + snapshot,
+// rollback + cancellation, fossil collection, mailbox transfer, and the
+// multilevel pipeline phases.  These are the constants behind the
+// macro-level tables (a committed event in the gate model costs a handful
+// of these primitives).
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/generator.hpp"
+#include "graph/weighted_graph.hpp"
+#include "logicsim/gate_eval.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/initial.hpp"
+#include "partition/refine.hpp"
+#include "util/rng.hpp"
+#include "warped/comm.hpp"
+#include "warped/lp_runtime.hpp"
+
+namespace {
+
+using namespace pls;
+
+class NullLp final : public warped::LogicalProcess {
+ public:
+  void init(warped::Context&) override {}
+  void execute(warped::Context&, warped::EventBatch) override {}
+};
+
+warped::Event make_event(warped::SimTime recv, std::uint64_t id) {
+  warped::Event e;
+  e.recv_time = recv;
+  e.send_time = recv > 0 ? recv - 1 : 0;
+  e.target = 0;
+  e.sender = 1;
+  e.id = id;
+  return e;
+}
+
+void BM_GateEval(benchmark::State& state) {
+  std::uint64_t in = 0x5a5a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        logicsim::eval_gate(circuit::GateType::kNand, in, 4));
+    in = (in << 1) | (in >> 63);
+  }
+}
+BENCHMARK(BM_GateEval);
+
+void BM_EventInsertOrdered(benchmark::State& state) {
+  NullLp lp;
+  std::uint64_t id = 1;
+  warped::SimTime t = 1;
+  warped::LpRuntime rt(0, &lp);
+  for (auto _ : state) {
+    rt.insert(make_event(t++, id++));
+    if (rt.input_queue().size() > 4096) {
+      state.PauseTiming();
+      rt = warped::LpRuntime(0, &lp);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_EventInsertOrdered);
+
+void BM_BatchCommitWithSnapshot(benchmark::State& state) {
+  NullLp lp;
+  warped::LpRuntime rt(0, &lp);
+  std::vector<warped::Event> batch;
+  warped::SimTime t = 1;
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    rt.insert(make_event(t, id++));
+    rt.begin_batch(batch);
+    rt.commit_batch(t, batch.size());
+    ++t;
+    if (t % 4096 == 0) {
+      state.PauseTiming();
+      rt.fossil_collect(t - 1);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_BatchCommitWithSnapshot);
+
+void BM_RollbackDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::uint64_t>(state.range(0));
+  NullLp lp;
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    warped::LpRuntime rt(0, &lp);
+    std::vector<warped::Event> batch;
+    for (std::uint64_t i = 1; i <= depth; ++i) {
+      rt.insert(make_event(i * 2, id++));
+    }
+    for (std::uint64_t i = 0; i < depth; ++i) {
+      rt.begin_batch(batch);
+      rt.commit_batch(batch.front().recv_time, batch.size());
+      warped::Event out = make_event(batch.front().recv_time + 1, id++);
+      out.send_time = batch.front().recv_time;
+      out.sender = 0;
+      out.target = 9;
+      rt.record_output(out);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(rt.insert(make_event(1, id++)));
+  }
+  state.SetLabel("rollback of " + std::to_string(depth) + " batches");
+}
+BENCHMARK(BM_RollbackDepth)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MailboxTransfer(benchmark::State& state) {
+  warped::Mailbox box;
+  std::vector<warped::InFlight> buf;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      warped::InFlight f;
+      f.deliver_at_ns = seq;
+      f.seq = seq++;
+      f.event = make_event(seq, seq);
+      box.push(std::move(f));
+    }
+    buf.clear();
+    box.drain(buf);
+    benchmark::DoNotOptimize(buf.size());
+  }
+}
+BENCHMARK(BM_MailboxTransfer);
+
+void BM_CoarsenS9234(benchmark::State& state) {
+  const circuit::Circuit c = circuit::make_iscas_like("s9234", 7);
+  for (auto _ : state) {
+    partition::CoarsenOptions opt;
+    opt.threshold = 64;
+    benchmark::DoNotOptimize(partition::coarsen(c, opt).num_levels());
+  }
+}
+BENCHMARK(BM_CoarsenS9234)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyRefineFinestLevel(benchmark::State& state) {
+  const circuit::Circuit c = circuit::make_iscas_like("s9234", 7);
+  const auto g = graph::WeightedGraph::from_circuit(c);
+  util::Rng rng(3);
+  partition::Partition base;
+  base.k = 8;
+  base.assign.resize(g.num_vertices());
+  for (auto& a : base.assign) {
+    a = static_cast<partition::PartId>(rng.below(8));
+  }
+  for (auto _ : state) {
+    partition::Partition p = base;
+    partition::RefineOptions opt;
+    benchmark::DoNotOptimize(
+        partition::GreedyRefiner().refine(g, p, opt).cut_after);
+  }
+}
+BENCHMARK(BM_GreedyRefineFinestLevel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Static partition-quality study: edge cut, communication volume, load
+// imbalance, concurrency and partitioning time for all six strategies on
+// the three benchmarks — the quantities the paper's §3 argues the
+// multilevel algorithm balances (and the quality measure, "edges cut", its
+// related work is judged by).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pls;
+
+  util::Cli cli("Partition quality — static metrics for all strategies");
+  bench::add_common_flags(cli);
+  cli.add_flag("k", "number of parts", "8");
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::BenchConfig cfg = bench::config_from_cli(cli);
+  const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
+
+  util::AsciiTable table({"Circuit", "Strategy", "EdgeCut", "CommVolume",
+                          "Imbalance", "Concurrency", "PartTime(ms)"});
+  util::CsvWriter csv(cfg.csv_dir + "/partition_quality.csv",
+                      {"circuit", "strategy", "k", "edge_cut", "comm_volume",
+                       "imbalance", "concurrency", "partition_ms"});
+
+  for (const char* name : {"s5378", "s9234", "s15850"}) {
+    const circuit::Circuit c = bench::make_benchmark(name, cfg);
+    table.add_rule();
+    for (const auto& strategy : bench::strategies()) {
+      const framework::DriverConfig dc =
+          bench::driver_config(cfg, strategy, k);
+      const framework::DriverResult res = framework::partition_only(c, dc);
+      table.add_row({name, strategy, std::to_string(res.edge_cut),
+                     std::to_string(res.comm_volume),
+                     util::AsciiTable::num(res.imbalance, 3),
+                     util::AsciiTable::num(res.concurrency, 3),
+                     util::AsciiTable::num(res.partition_seconds * 1e3, 2)});
+      csv.row({name, strategy, std::to_string(k),
+               std::to_string(res.edge_cut), std::to_string(res.comm_volume),
+               util::AsciiTable::num(res.imbalance, 4),
+               util::AsciiTable::num(res.concurrency, 4),
+               util::AsciiTable::num(res.partition_seconds * 1e3, 4)});
+    }
+  }
+
+  std::printf("Partition quality at k=%u\n%s", k, table.render().c_str());
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

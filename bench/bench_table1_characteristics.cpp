@@ -1,0 +1,46 @@
+// Reproduces paper Table 1: "Characteristics of benchmarks"
+// (Circuit | Inputs | Gates | Outputs), extended with the structural
+// statistics the generator is calibrated against.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/circuit_stats.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pls;
+
+  util::Cli cli("Table 1 — characteristics of the ISCAS'89 benchmarks");
+  bench::add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 1;
+  const bench::BenchConfig cfg = bench::config_from_cli(cli);
+
+  util::AsciiTable table({"Circuit", "Inputs", "Gates", "Outputs", "FFs",
+                          "Edges", "Depth", "AvgFanout", "MaxFanout"});
+  util::CsvWriter csv(cfg.csv_dir + "/table1_characteristics.csv",
+                      {"circuit", "inputs", "gates", "outputs", "ffs",
+                       "edges", "depth", "avg_fanout", "max_fanout"});
+
+  for (const char* name : {"s5378", "s9234", "s15850"}) {
+    const circuit::Circuit c = bench::make_benchmark(name, cfg);
+    const circuit::CircuitStats s = circuit::compute_stats(c);
+    table.add_row({s.name, std::to_string(s.inputs),
+                   std::to_string(s.comb_gates), std::to_string(s.outputs),
+                   std::to_string(s.flip_flops), std::to_string(s.edges),
+                   std::to_string(s.depth), util::AsciiTable::num(s.avg_fanout),
+                   std::to_string(s.max_fanout)});
+    csv.row({s.name, std::to_string(s.inputs), std::to_string(s.comb_gates),
+             std::to_string(s.outputs), std::to_string(s.flip_flops),
+             std::to_string(s.edges), std::to_string(s.depth),
+             util::AsciiTable::num(s.avg_fanout),
+             std::to_string(s.max_fanout)});
+  }
+
+  std::printf("Table 1 — Characteristics of benchmarks (paper: s5378 "
+              "35/2779/49, s9234 36/5597/39, s15850 77/10383/150)\n%s",
+              table.render().c_str());
+  std::printf("CSV: %s\n", csv.path().c_str());
+  return 0;
+}

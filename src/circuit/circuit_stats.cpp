@@ -1,0 +1,46 @@
+#include "circuit/circuit_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "circuit/levelize.hpp"
+
+namespace pls::circuit {
+
+CircuitStats compute_stats(const Circuit& c) {
+  CircuitStats s;
+  s.name = c.name();
+  s.inputs = c.primary_inputs().size();
+  s.outputs = c.primary_outputs().size();
+  s.flip_flops = c.flip_flops().size();
+  s.comb_gates = c.num_combinational();
+  s.edges = c.num_edges();
+  s.depth = levelize(c).max_level;
+
+  std::size_t fanin_total = 0;
+  std::size_t fanout_total = 0;
+  std::size_t logic = 0;
+  for (GateId g = 0; g < c.size(); ++g) {
+    fanout_total += c.fanouts(g).size();
+    s.max_fanout = std::max(s.max_fanout, c.fanouts(g).size());
+    if (c.type(g) == GateType::kInput) continue;
+    fanin_total += c.fanins(g).size();
+    ++logic;
+  }
+  s.avg_fanin =
+      logic ? static_cast<double>(fanin_total) / static_cast<double>(logic)
+            : 0.0;
+  s.avg_fanout = c.size() ? static_cast<double>(fanout_total) /
+                                static_cast<double>(c.size())
+                          : 0.0;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s) {
+  return os << s.name << ": " << s.inputs << " in, " << s.outputs << " out, "
+            << s.comb_gates << " gates, " << s.flip_flops << " FFs, "
+            << s.edges << " edges, depth " << s.depth << ", avg fanout "
+            << s.avg_fanout;
+}
+
+}  // namespace pls::circuit

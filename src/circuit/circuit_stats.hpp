@@ -1,0 +1,32 @@
+#pragma once
+// Structural statistics of a circuit: the numbers behind the paper's
+// Table 1 plus the graph-shape metrics (depth, fan-out distribution) the
+// generator is validated against.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace pls::circuit {
+
+struct CircuitStats {
+  std::string name;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t comb_gates = 0;  ///< the paper's "Gates" column
+  std::size_t flip_flops = 0;
+  std::size_t edges = 0;
+  std::uint32_t depth = 0;  ///< max topological level
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+};
+
+CircuitStats compute_stats(const Circuit& c);
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s);
+
+}  // namespace pls::circuit

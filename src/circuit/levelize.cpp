@@ -1,0 +1,75 @@
+#include "circuit/levelize.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pls::circuit {
+namespace {
+
+/// In-degree of each gate counting only combinational constraints: a DFF
+/// has in-degree 0 (it is a sequential source); other gates count all
+/// fanins.
+std::vector<std::uint32_t> combinational_indegree(const Circuit& c) {
+  std::vector<std::uint32_t> indeg(c.size(), 0);
+  for (GateId g = 0; g < c.size(); ++g) {
+    if (c.type(g) == GateType::kDff) continue;  // source: no constraints
+    indeg[g] = static_cast<std::uint32_t>(c.fanins(g).size());
+  }
+  return indeg;
+}
+
+}  // namespace
+
+std::vector<GateId> topological_order(const Circuit& c) {
+  PLS_CHECK_MSG(c.frozen(), "topological_order requires a frozen circuit");
+  auto indeg = combinational_indegree(c);
+
+  std::vector<GateId> order;
+  order.reserve(c.size());
+  std::vector<GateId> frontier;
+  for (GateId g = 0; g < c.size(); ++g) {
+    if (indeg[g] == 0) frontier.push_back(g);
+  }
+  // Kahn's algorithm; the frontier is processed in id order for determinism.
+  std::size_t head = 0;
+  order = std::move(frontier);
+  while (head < order.size()) {
+    const GateId g = order[head++];
+    for (GateId out : c.fanouts(g)) {
+      if (c.type(out) == GateType::kDff) continue;  // edge cut at D pin
+      if (--indeg[out] == 0) order.push_back(out);
+    }
+  }
+  PLS_CHECK_MSG(order.size() == c.size(),
+                "circuit has a combinational cycle (freeze() should have "
+                "rejected it)");
+  return order;
+}
+
+Levelization levelize(const Circuit& c) {
+  PLS_CHECK_MSG(c.frozen(), "levelize requires a frozen circuit");
+  Levelization out;
+  out.level.assign(c.size(), 0);
+
+  for (GateId g : topological_order(c)) {
+    if (is_sequential_source(c.type(g))) {
+      out.level[g] = 0;
+      continue;
+    }
+    std::uint32_t lvl = 0;
+    for (GateId f : c.fanins(g)) {
+      lvl = std::max(lvl, out.level[f] + 1);
+    }
+    out.level[g] = lvl;
+    out.max_level = std::max(out.max_level, lvl);
+  }
+
+  out.by_level.assign(out.max_level + 1, {});
+  for (GateId g = 0; g < c.size(); ++g) {
+    out.by_level[out.level[g]].push_back(g);
+  }
+  return out;
+}
+
+}  // namespace pls::circuit

@@ -1,0 +1,33 @@
+#pragma once
+// Topological levelization of a (possibly sequential) circuit.
+//
+// The paper's Topological partitioner "proceeds by first levelizing the
+// circuit graph and then assigning nodes at the same topological level to a
+// partition" (§2, citing Cloutier and Smith).  Levelization treats primary
+// inputs and flip-flop outputs as level-0 sources and assigns every other
+// gate 1 + max(level of combinational fanins); edges into a DFF's D pin do
+// not constrain the DFF (that is where sequential feedback cycles are cut).
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace pls::circuit {
+
+struct Levelization {
+  std::vector<std::uint32_t> level;  ///< per-gate topological level
+  std::uint32_t max_level = 0;       ///< circuit logic depth
+  /// Gates grouped by level: by_level[l] lists every gate at level l.
+  std::vector<std::vector<GateId>> by_level;
+};
+
+/// Compute levels for a frozen circuit. O(V + E).
+Levelization levelize(const Circuit& c);
+
+/// A topological order of the combinational DAG (sources first; DFFs appear
+/// as sources).  Used by the sequential simulator for rank-ordered
+/// evaluation and by generators/tests.
+std::vector<GateId> topological_order(const Circuit& c);
+
+}  // namespace pls::circuit

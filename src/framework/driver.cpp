@@ -1,0 +1,80 @@
+#include "framework/driver.hpp"
+
+#include "framework/registry.hpp"
+#include "logicsim/activity.hpp"
+#include "partition/metrics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pls::framework {
+namespace {
+
+DriverResult partition_circuit(const circuit::Circuit& c,
+                               const DriverConfig& cfg) {
+  DriverResult res;
+
+  partition::MultilevelOptions ml = cfg.multilevel;
+  std::vector<double> activity;
+  if (cfg.use_activity && cfg.partitioner == "Multilevel") {
+    // Profile with a quarter of the simulation horizon: long enough to see
+    // steady-state switching rates, short next to the real run.
+    activity = logicsim::profile_activity(c, cfg.model, cfg.end_time / 4);
+    ml.activity = &activity;
+  }
+
+  const auto strategy = make_partitioner(cfg.partitioner, ml);
+  util::WallTimer timer;
+  res.partition = strategy->run(c, cfg.num_nodes, cfg.seed);
+  res.partition_seconds = timer.elapsed_seconds();
+
+  res.partition.validate(c.size());
+  res.edge_cut = partition::edge_cut(c, res.partition);
+  res.comm_volume = partition::comm_volume(c, res.partition);
+  res.imbalance = partition::imbalance(c, res.partition);
+  res.concurrency = partition::concurrency(c, res.partition);
+  return res;
+}
+
+}  // namespace
+
+DriverResult partition_only(const circuit::Circuit& c,
+                            const DriverConfig& cfg) {
+  PLS_CHECK(c.frozen());
+  return partition_circuit(c, cfg);
+}
+
+DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
+  PLS_CHECK(c.frozen());
+  DriverResult res = partition_circuit(c, cfg);
+
+  logicsim::ModelOptions model_opt = cfg.model;
+  model_opt.stim_seed = cfg.seed;
+  logicsim::SimModel model = logicsim::build_model(c, model_opt);
+
+  warped::KernelConfig kc;
+  kc.num_nodes = cfg.num_nodes;
+  kc.end_time = cfg.end_time;
+  kc.event_cost_ns = cfg.event_cost_ns;
+  kc.network.send_overhead_ns = cfg.send_overhead_ns;
+  kc.network.latency_ns = cfg.latency_ns;
+  kc.gvt_interval_us = cfg.gvt_interval_us;
+  kc.state_period = cfg.state_period;
+  kc.optimism_window = cfg.optimism_window;
+  kc.max_live_entries_per_node = cfg.max_live_entries_per_node;
+
+  warped::Kernel kernel(model.behaviours(), res.partition.assign, kc);
+  res.run = kernel.run();
+  return res;
+}
+
+logicsim::SeqStats run_sequential(const circuit::Circuit& c,
+                                  const DriverConfig& cfg) {
+  PLS_CHECK(c.frozen());
+  logicsim::ModelOptions model_opt = cfg.model;
+  model_opt.stim_seed = cfg.seed;
+  logicsim::SimModel model = logicsim::build_model(c, model_opt);
+  return logicsim::simulate_sequential(model.behaviours(), cfg.end_time,
+                                       cfg.event_cost_ns);
+}
+
+}  // namespace pls::framework

@@ -1,0 +1,73 @@
+#pragma once
+// SimulationDriver: the end-to-end pipeline of the paper's framework
+// (Figure 3): circuit → runtime elaboration into LPs → runtime partitioning
+// (strategy chosen by name) → parallel Time Warp simulation → statistics.
+//
+// The driver is what every example and benchmark harness calls; its
+// defaults encode the modeled-testbed calibration (DESIGN.md §3.2):
+// event grain ≈ 1.5 µs, message send overhead ≈ 3 µs, network latency
+// ≈ 50 µs — the paper's fast-Ethernet NOW regime where communication is
+// ~30× an event grain.
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "logicsim/netlist_lps.hpp"
+#include "logicsim/sequential.hpp"
+#include "partition/multilevel_partitioner.hpp"
+#include "partition/partition.hpp"
+#include "warped/kernel.hpp"
+
+namespace pls::framework {
+
+struct DriverConfig {
+  std::uint32_t num_nodes = 2;
+  std::string partitioner = "Multilevel";
+  std::uint64_t seed = 2000;          ///< partitioning / stimulus seed
+  warped::SimTime end_time = 2000;    ///< virtual-time horizon
+
+  logicsim::ModelOptions model;
+
+  // Modeled testbed (see header comment).
+  std::uint64_t event_cost_ns = 1500;
+  std::uint64_t send_overhead_ns = 3000;
+  std::uint64_t latency_ns = 50000;
+
+  std::uint64_t gvt_interval_us = 2000;
+  std::uint32_t state_period = 1;
+  warped::SimTime optimism_window = 0;
+  std::size_t max_live_entries_per_node = 0;
+
+  /// Run an activity pre-simulation and use activity-weighted coarsening
+  /// (multilevel only; paper §6 extension).
+  bool use_activity = false;
+  partition::MultilevelOptions multilevel;
+};
+
+struct DriverResult {
+  partition::Partition partition;
+  double partition_seconds = 0.0;  ///< time spent partitioning
+
+  // Static quality metrics of the chosen partition.
+  std::uint64_t edge_cut = 0;
+  std::uint64_t comm_volume = 0;
+  double imbalance = 0.0;
+  double concurrency = 0.0;
+
+  warped::RunStats run;
+};
+
+/// Partition `c` with the configured strategy and simulate it in parallel.
+DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg);
+
+/// Sequential reference run of the same model and horizon (the paper's
+/// "Seq Time"); charges the same per-event CPU cost.
+logicsim::SeqStats run_sequential(const circuit::Circuit& c,
+                                  const DriverConfig& cfg);
+
+/// Partition only (no simulation) — used by the static-quality benches.
+DriverResult partition_only(const circuit::Circuit& c,
+                            const DriverConfig& cfg);
+
+}  // namespace pls::framework

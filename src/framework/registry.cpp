@@ -1,0 +1,30 @@
+#include "framework/registry.hpp"
+
+#include "partition/baselines.hpp"
+#include "util/check.hpp"
+
+namespace pls::framework {
+
+const std::vector<std::string>& partitioner_names() {
+  static const std::vector<std::string> kNames = {
+      "Random", "DFS", "Cluster", "Topological", "Multilevel",
+      "ConePartition"};
+  return kNames;
+}
+
+std::unique_ptr<partition::Partitioner> make_partitioner(
+    const std::string& name, const partition::MultilevelOptions& ml) {
+  using namespace partition;
+  if (name == "Random") return std::make_unique<RandomPartitioner>();
+  if (name == "DFS") return std::make_unique<DepthFirstPartitioner>();
+  if (name == "Cluster") return std::make_unique<BfsClusterPartitioner>();
+  if (name == "Topological") return std::make_unique<TopologicalPartitioner>();
+  if (name == "Multilevel") return std::make_unique<MultilevelPartitioner>(ml);
+  if (name == "ConePartition" || name == "Cone") {
+    return std::make_unique<FanoutConePartitioner>();
+  }
+  PLS_CHECK_MSG(false, "unknown partitioner '" << name << "'");
+  return nullptr;
+}
+
+}  // namespace pls::framework

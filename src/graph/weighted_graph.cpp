@@ -1,0 +1,81 @@
+#include "graph/weighted_graph.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/check.hpp"
+
+namespace pls::graph {
+
+WeightedGraph::WeightedGraph(
+    std::vector<std::uint32_t> vertex_weights,
+    std::span<const std::tuple<VertexId, VertexId, std::uint32_t>> edges)
+    : vweight_(std::move(vertex_weights)) {
+  for (auto w : vweight_) total_weight_ += w;
+  build_csr(edges);
+}
+
+void WeightedGraph::build_csr(
+    std::span<const std::tuple<VertexId, VertexId, std::uint32_t>> edges) {
+  const auto n = vweight_.size();
+
+  // Normalize: drop self-loops, order endpoints, sort, merge duplicates.
+  std::vector<std::tuple<VertexId, VertexId, std::uint32_t>> norm;
+  norm.reserve(edges.size());
+  for (const auto& [u, v, w] : edges) {
+    PLS_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    norm.emplace_back(std::min(u, v), std::max(u, v), w);
+  }
+  std::sort(norm.begin(), norm.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  std::vector<std::tuple<VertexId, VertexId, std::uint32_t>> merged;
+  merged.reserve(norm.size());
+  for (const auto& e : norm) {
+    if (!merged.empty() && std::get<0>(merged.back()) == std::get<0>(e) &&
+        std::get<1>(merged.back()) == std::get<1>(e)) {
+      std::get<2>(merged.back()) += std::get<2>(e);
+    } else {
+      merged.push_back(e);
+    }
+  }
+  edge_count_ = merged.size();
+
+  // CSR with both directions.
+  off_.assign(n + 1, 0);
+  for (const auto& [u, v, w] : merged) {
+    ++off_[u + 1];
+    ++off_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) off_[i] += off_[i - 1];
+  adj_.resize(merged.size() * 2);
+  std::vector<std::uint32_t> cursor(off_.begin(), off_.end() - 1);
+  for (const auto& [u, v, w] : merged) {
+    adj_[cursor[u]++] = Edge{v, w};
+    adj_[cursor[v]++] = Edge{u, w};
+  }
+}
+
+WeightedGraph WeightedGraph::from_circuit(const circuit::Circuit& c) {
+  PLS_CHECK_MSG(c.frozen(), "from_circuit requires a frozen circuit");
+  std::vector<std::tuple<VertexId, VertexId, std::uint32_t>> edges;
+  edges.reserve(c.num_edges());
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    for (circuit::GateId f : c.fanins(g)) {
+      edges.emplace_back(static_cast<VertexId>(f), static_cast<VertexId>(g),
+                         1u);
+    }
+  }
+  return WeightedGraph(std::vector<std::uint32_t>(c.size(), 1), edges);
+}
+
+std::uint64_t WeightedGraph::weighted_degree(VertexId v) const {
+  std::uint64_t d = 0;
+  for (const Edge& e : neighbors(v)) d += e.weight;
+  return d;
+}
+
+}  // namespace pls::graph

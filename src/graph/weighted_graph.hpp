@@ -1,0 +1,67 @@
+#pragma once
+// WeightedGraph: the vertex- and edge-weighted undirected graph the
+// partitioning algorithms operate on.
+//
+// The paper's circuit graph is directed (gates → signals), but cut-set and
+// refinement gains treat communication symmetrically, so the partitioning
+// layer symmetrizes the circuit: an edge {u,v} with weight w aggregates all
+// directed signal connections between u and v.  Vertex weights carry the
+// number of original gates a coarsened globule represents (paper §3,
+// coarsening phase).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace pls::graph {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId to;
+  std::uint32_t weight;
+};
+
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  /// Build from an explicit edge list (u,v,w); parallel edges are merged by
+  /// summing weights, self-loops dropped.  `vertex_weights` defines the
+  /// vertex count.
+  WeightedGraph(std::vector<std::uint32_t> vertex_weights,
+                std::span<const std::tuple<VertexId, VertexId, std::uint32_t>>
+                    edges);
+
+  /// Symmetrized view of a frozen circuit: one vertex per gate (weight 1),
+  /// one undirected edge per connected gate pair (weight = number of
+  /// directed connections between them).
+  static WeightedGraph from_circuit(const circuit::Circuit& c);
+
+  std::size_t num_vertices() const noexcept { return vweight_.size(); }
+  std::size_t num_edges() const noexcept { return edge_count_; }
+
+  std::uint32_t vertex_weight(VertexId v) const { return vweight_.at(v); }
+  std::uint64_t total_vertex_weight() const noexcept { return total_weight_; }
+
+  std::span<const Edge> neighbors(VertexId v) const {
+    return {adj_.data() + off_.at(v), off_.at(v + 1) - off_.at(v)};
+  }
+
+  /// Sum of weights of edges incident to v.
+  std::uint64_t weighted_degree(VertexId v) const;
+
+ private:
+  void build_csr(
+      std::span<const std::tuple<VertexId, VertexId, std::uint32_t>> edges);
+
+  std::vector<std::uint32_t> vweight_;
+  std::uint64_t total_weight_ = 0;
+  std::vector<std::uint32_t> off_;
+  std::vector<Edge> adj_;
+  std::size_t edge_count_ = 0;  // undirected edges after merging
+};
+
+}  // namespace pls::graph

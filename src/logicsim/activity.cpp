@@ -1,0 +1,28 @@
+#include "logicsim/activity.hpp"
+
+#include "logicsim/sequential.hpp"
+
+namespace pls::logicsim {
+
+std::vector<double> profile_activity(const circuit::Circuit& c,
+                                     const ModelOptions& opt,
+                                     warped::SimTime profile_end) {
+  SimModel model = build_model(c, opt);
+  const SeqStats stats =
+      simulate_sequential(model.behaviours(), profile_end, 0);
+
+  double total = 0.0;
+  for (auto n : stats.per_lp_events) total += static_cast<double>(n);
+  const double mean =
+      total > 0.0 ? total / static_cast<double>(stats.per_lp_events.size())
+                  : 1.0;
+
+  std::vector<double> activity(stats.per_lp_events.size(), 0.0);
+  for (std::size_t i = 0; i < activity.size(); ++i) {
+    activity[i] = static_cast<double>(stats.per_lp_events[i]) /
+                  (mean > 0.0 ? mean : 1.0);
+  }
+  return activity;
+}
+
+}  // namespace pls::logicsim

@@ -1,0 +1,23 @@
+#pragma once
+// Gate activity profiling (paper §6, future work: "the use of activity
+// levels of communication to make better decisions while coarsening").
+//
+// A short sequential pre-simulation counts how often each gate evaluates;
+// the normalized rates feed the activity-weighted coarsening scheme
+// (partition::CoarsenOptions::activity), which then prefers to keep busy
+// signals inside globules.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "logicsim/netlist_lps.hpp"
+
+namespace pls::logicsim {
+
+/// Relative per-gate activity: events per gate divided by the mean over
+/// all gates (1.0 = average).  `profile_end` bounds the pre-simulation.
+std::vector<double> profile_activity(const circuit::Circuit& c,
+                                     const ModelOptions& opt,
+                                     warped::SimTime profile_end);
+
+}  // namespace pls::logicsim

@@ -1,0 +1,44 @@
+#include "logicsim/equivalence.hpp"
+
+#include <sstream>
+
+namespace pls::logicsim {
+
+EquivalenceReport check_equivalence(const warped::RunStats& parallel,
+                                    const SeqStats& sequential) {
+  EquivalenceReport rep;
+  rep.parallel_committed = parallel.totals.events_committed;
+  rep.sequential_processed = sequential.events_processed;
+  rep.counts_equal = rep.parallel_committed == rep.sequential_processed;
+
+  rep.states_equal =
+      parallel.final_states.size() == sequential.final_states.size();
+  if (rep.states_equal) {
+    for (std::size_t i = 0; i < parallel.final_states.size(); ++i) {
+      if (!(parallel.final_states[i] == sequential.final_states[i])) {
+        rep.states_equal = false;
+        rep.first_mismatch_lp = i;
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+std::string EquivalenceReport::describe() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "equivalent (" << parallel_committed << " committed events)";
+    return os.str();
+  }
+  if (!states_equal) {
+    os << "state mismatch at LP " << first_mismatch_lp << "; ";
+  }
+  if (!counts_equal) {
+    os << "committed " << parallel_committed << " != sequential "
+       << sequential_processed;
+  }
+  return os.str();
+}
+
+}  // namespace pls::logicsim

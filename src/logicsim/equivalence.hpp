@@ -1,0 +1,33 @@
+#pragma once
+// Parallel ≡ sequential equivalence checking.
+//
+// Time Warp's correctness contract: the committed results of an optimistic
+// run must be exactly those of a sequential execution of the same model.
+// The integration and property tests enforce this for every partitioner and
+// node count on real circuits, which exercises the entire rollback /
+// cancellation / GVT machinery end to end.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logicsim/sequential.hpp"
+#include "warped/stats.hpp"
+
+namespace pls::logicsim {
+
+struct EquivalenceReport {
+  bool states_equal = false;
+  bool counts_equal = false;
+  std::size_t first_mismatch_lp = 0;   ///< valid when !states_equal
+  std::uint64_t parallel_committed = 0;
+  std::uint64_t sequential_processed = 0;
+
+  bool ok() const noexcept { return states_equal && counts_equal; }
+  std::string describe() const;
+};
+
+EquivalenceReport check_equivalence(const warped::RunStats& parallel,
+                                    const SeqStats& sequential);
+
+}  // namespace pls::logicsim

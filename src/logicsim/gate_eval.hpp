@@ -1,0 +1,40 @@
+#pragma once
+// Pure combinational gate evaluation over packed input bits.
+//
+// An LP's input values live in one 64-bit word (bit i = current value of
+// fanin i), so evaluation is a handful of bit operations — this is the
+// entire "VHDL process body" of the reproduction's gate-level processes.
+
+#include <bit>
+#include <cstdint>
+
+#include "circuit/types.hpp"
+#include "util/check.hpp"
+
+namespace pls::logicsim {
+
+/// Evaluate a combinational gate.  `inputs` holds one bit per fanin in the
+/// low `arity` bits; bits above `arity` are ignored.
+inline bool eval_gate(circuit::GateType type, std::uint64_t inputs,
+                      unsigned arity) noexcept {
+  const std::uint64_t mask =
+      arity >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << arity) - 1);
+  const std::uint64_t in = inputs & mask;
+  switch (type) {
+    case circuit::GateType::kBuf: return (in & 1) != 0;
+    case circuit::GateType::kNot: return (in & 1) == 0;
+    case circuit::GateType::kAnd: return in == mask;
+    case circuit::GateType::kNand: return in != mask;
+    case circuit::GateType::kOr: return in != 0;
+    case circuit::GateType::kNor: return in == 0;
+    case circuit::GateType::kXor: return (std::popcount(in) & 1) != 0;
+    case circuit::GateType::kXnor: return (std::popcount(in) & 1) == 0;
+    case circuit::GateType::kInput:
+    case circuit::GateType::kDff:
+      break;  // handled by their dedicated LPs
+  }
+  PLS_DCHECK(false);
+  return false;
+}
+
+}  // namespace pls::logicsim

@@ -1,0 +1,213 @@
+#include "logicsim/netlist_lps.hpp"
+
+#include "logicsim/gate_eval.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::logicsim {
+
+using warped::Context;
+using warped::EventBatch;
+using warped::kTickPort;
+using warped::LpState;
+using warped::SimTime;
+
+// ---------------------------------------------------------------------------
+// GateLp
+// ---------------------------------------------------------------------------
+
+GateLp::GateLp(circuit::GateType type, std::uint32_t arity,
+               std::vector<FanoutPort> fanouts, SimTime delay)
+    : type_(type), arity_(arity), fanouts_(std::move(fanouts)),
+      delay_(delay) {
+  PLS_CHECK_MSG(arity_ >= 1 && arity_ <= 64,
+                "gate arity must be in [1,64] to pack into the state word");
+  PLS_CHECK(delay_ >= 1);
+}
+
+void GateLp::init(Context& ctx) {
+  // Power-on evaluation at time 0: gates whose zero-input evaluation is 1
+  // (NAND, NOR, NOT, XNOR) must announce it, or downstream logic would
+  // assume 0 forever.
+  ctx.schedule_self(0);
+}
+
+void GateLp::execute(Context& ctx, EventBatch batch) {
+  LpState& s = ctx.state();
+  for (const auto& ev : batch) {
+    if (ev.port == kTickPort) continue;  // power-on tick: just evaluate
+    PLS_DCHECK(ev.port < arity_);
+    const std::uint64_t bit = std::uint64_t{1} << ev.port;
+    if (ev.value & 1) s.a |= bit;
+    else s.a &= ~bit;
+  }
+  const bool out = eval_gate(type_, s.a, arity_);
+  if (out != ((s.b & 1) != 0)) {
+    s.b ^= 1;
+    const SimTime at = ctx.now() + delay_;
+    if (at <= ctx.end_time()) {
+      for (const auto& f : fanouts_) {
+        ctx.send(f.target, at, f.port, out ? 1 : 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DffLp
+// ---------------------------------------------------------------------------
+
+DffLp::DffLp(std::vector<FanoutPort> fanouts, SimTime period, SimTime phase,
+             SimTime delay)
+    : fanouts_(std::move(fanouts)), period_(period), phase_(phase),
+      delay_(delay) {
+  PLS_CHECK(period_ >= 1);
+  PLS_CHECK(phase_ >= 1);
+  PLS_CHECK(delay_ >= 1);
+}
+
+void DffLp::init(Context& ctx) {
+  // Clock suppression (standard gate-level optimization): instead of
+  // ticking every period to the horizon — which would let every flip-flop
+  // race arbitrarily far ahead of its D input and turn each cut D-path
+  // into a rollback factory — a sampling tick is scheduled only for the
+  // first clock edge after a D change.  The observable behaviour is
+  // identical to a free-running clock: Q updates at the first edge at or
+  // after the change, using the D value current at that edge.
+  if (phase_ <= ctx.end_time()) ctx.schedule_self(phase_);
+}
+
+warped::SimTime DffLp::next_edge_at_or_after(SimTime t) const {
+  if (t <= phase_) return phase_;
+  const SimTime k = (t - phase_ + period_ - 1) / period_;
+  return phase_ + k * period_;
+}
+
+void DffLp::execute(Context& ctx, EventBatch batch) {
+  LpState& s = ctx.state();
+  // Data first, then clock: a D arriving exactly on the edge is captured.
+  bool tick = false;
+  bool d_changed = false;
+  for (const auto& ev : batch) {
+    if (ev.port == kTickPort) {
+      tick = true;
+    } else {
+      PLS_DCHECK(ev.port == 0);
+      s.a = ev.value & 1;
+      d_changed = true;
+    }
+  }
+
+  if (d_changed && !tick) {
+    // Arm a sampling tick at the next clock edge.  Two D changes within
+    // one period both target the same edge; the duplicate tick lands in
+    // one batch and samples once, so no pending-tick bookkeeping is
+    // needed.
+    const SimTime edge = next_edge_at_or_after(ctx.now() + 1);
+    if (edge <= ctx.end_time()) ctx.schedule_self(edge);
+    return;
+  }
+  if (!tick) return;
+
+  const bool d = (s.a & 1) != 0;
+  const bool q = (s.b & 1) != 0;
+  if (d != q) {
+    s.b ^= 1;
+    const SimTime at = ctx.now() + delay_;
+    if (at <= ctx.end_time()) {
+      for (const auto& f : fanouts_) {
+        ctx.send(f.target, at, f.port, d ? 1 : 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InputLp
+// ---------------------------------------------------------------------------
+
+InputLp::InputLp(std::vector<FanoutPort> fanouts, SimTime period,
+                 SimTime delay, std::uint64_t seed)
+    : fanouts_(std::move(fanouts)), period_(period), delay_(delay),
+      seed_(seed) {
+  PLS_CHECK(period_ >= 1);
+  PLS_CHECK(delay_ >= 1);
+}
+
+bool InputLp::vector_bit(std::uint64_t seed, warped::LpId lp,
+                         std::uint64_t n) noexcept {
+  util::SplitMix64 h(seed ^ (0x9e3779b97f4a7c15ULL * (lp + 1)) ^
+                     (n * 0xbf58476d1ce4e5b9ULL));
+  return (h.next() & 1) != 0;
+}
+
+void InputLp::init(Context& ctx) {
+  ctx.schedule_self(0);  // vector 0 applies at time 0
+}
+
+void InputLp::execute(Context& ctx, EventBatch batch) {
+  LpState& s = ctx.state();
+  bool tick = false;
+  for (const auto& ev : batch) tick |= (ev.port == kTickPort);
+  if (!tick) return;
+
+  const std::uint64_t n = ctx.now() / period_;
+  const bool v = vector_bit(seed_, ctx.self(), n);
+  if (v != ((s.b & 1) != 0)) {
+    s.b ^= 1;
+    const SimTime at = ctx.now() + delay_;
+    if (at <= ctx.end_time()) {
+      for (const auto& f : fanouts_) {
+        ctx.send(f.target, at, f.port, v ? 1 : 0);
+      }
+    }
+  }
+  const SimTime next = ctx.now() + period_;
+  if (next <= ctx.end_time()) ctx.schedule_self(next);
+}
+
+// ---------------------------------------------------------------------------
+// Elaboration
+// ---------------------------------------------------------------------------
+
+SimModel build_model(const circuit::Circuit& c, const ModelOptions& opt) {
+  PLS_CHECK_MSG(c.frozen(), "build_model requires a frozen circuit");
+
+  // For every gate, the input port its signal occupies at each fanout:
+  // port = index of the driver within the target's fanin list.  A driver
+  // feeding the same target on several pins gets one FanoutPort per pin.
+  std::vector<std::vector<FanoutPort>> fanout_ports(c.size());
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    const auto fins = c.fanins(g);
+    for (std::uint32_t port = 0; port < fins.size(); ++port) {
+      fanout_ports[fins[port]].push_back(
+          FanoutPort{static_cast<warped::LpId>(g), port});
+    }
+  }
+
+  SimModel model;
+  model.options = opt;
+  model.lps.reserve(c.size());
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    switch (c.type(g)) {
+      case circuit::GateType::kInput:
+        model.lps.push_back(std::make_unique<InputLp>(
+            std::move(fanout_ports[g]), opt.stim_period, opt.gate_delay,
+            opt.stim_seed));
+        break;
+      case circuit::GateType::kDff:
+        model.lps.push_back(std::make_unique<DffLp>(
+            std::move(fanout_ports[g]), opt.clock_period, opt.clock_phase,
+            opt.dff_delay));
+        break;
+      default:
+        model.lps.push_back(std::make_unique<GateLp>(
+            c.type(g), static_cast<std::uint32_t>(c.fanins(g).size()),
+            std::move(fanout_ports[g]), opt.gate_delay));
+        break;
+    }
+  }
+  return model;
+}
+
+}  // namespace pls::logicsim

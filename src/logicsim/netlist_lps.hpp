@@ -1,0 +1,135 @@
+#pragma once
+// Gate-level logical processes: the TYVIS role of the reproduction.
+//
+// Every gate of the circuit becomes exactly one Time Warp LP whose id
+// equals its GateId, so a Partition maps 1:1 onto the kernel's LP→node
+// map.  Three behaviours exist:
+//
+//   * GateLp   — combinational gates: input events update packed input
+//     bits; when the evaluated output changes, a transition is sent to
+//     every fanout port after the gate delay.
+//   * DffLp    — D flip-flops, self-clocked with a configurable period
+//     (DESIGN.md §3.4): each tick samples D and emits Q on change.
+//   * InputLp  — primary inputs: self-scheduled stimulus that applies a
+//     new random vector every `stim_period`.  Vector values are a
+//     counter-based hash of (seed, input, vector index), which makes the
+//     stimulus history-independent — a rollback replays identical values.
+//
+// Determinism: execute() is a pure function of (state, batch content).
+// Batches apply data-port events before tick events, so a D arriving on
+// the clock edge is captured — a fixed, documented race resolution.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "warped/lp.hpp"
+
+namespace pls::logicsim {
+
+struct ModelOptions {
+  warped::SimTime gate_delay = 1;   ///< combinational propagation delay
+  warped::SimTime dff_delay = 1;    ///< clock-to-Q delay
+  warped::SimTime clock_period = 10;
+  warped::SimTime clock_phase = 5;  ///< first tick (0 < phase recommended)
+  warped::SimTime stim_period = 20; ///< new input vector interval
+  std::uint64_t stim_seed = 7;      ///< stimulus stream seed
+};
+
+/// One fanout connection: the driven LP and the input port (fanin index)
+/// this signal occupies there.
+struct FanoutPort {
+  warped::LpId target;
+  std::uint32_t port;
+};
+
+/// The elaborated simulation model: one behaviour per gate, index = GateId.
+struct SimModel {
+  std::vector<std::unique_ptr<warped::LogicalProcess>> lps;
+  ModelOptions options;
+
+  std::vector<warped::LogicalProcess*> behaviours() const {
+    std::vector<warped::LogicalProcess*> out;
+    out.reserve(lps.size());
+    for (const auto& lp : lps) out.push_back(lp.get());
+    return out;
+  }
+};
+
+/// Elaborate a frozen circuit into LPs (the runtime-elaboration step of the
+/// paper's framework).
+SimModel build_model(const circuit::Circuit& c, const ModelOptions& opt = {});
+
+// ---- concrete behaviours (exposed for unit tests) -------------------------
+
+class GateLp final : public warped::LogicalProcess {
+ public:
+  GateLp(circuit::GateType type, std::uint32_t arity,
+         std::vector<FanoutPort> fanouts, warped::SimTime delay);
+
+  warped::LpState initial_state() const override { return {}; }
+  void init(warped::Context& ctx) override;
+  void execute(warped::Context& ctx, warped::EventBatch batch) override;
+
+  /// Current output value encoded in a state (bit 0 of word b).
+  static bool output_of(const warped::LpState& s) noexcept {
+    return (s.b & 1) != 0;
+  }
+
+ private:
+  circuit::GateType type_;
+  std::uint32_t arity_;
+  std::vector<FanoutPort> fanouts_;
+  warped::SimTime delay_;
+};
+
+class DffLp final : public warped::LogicalProcess {
+ public:
+  DffLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
+        warped::SimTime phase, warped::SimTime delay);
+
+  warped::LpState initial_state() const override { return {}; }
+  void init(warped::Context& ctx) override;
+  void execute(warped::Context& ctx, warped::EventBatch batch) override;
+
+  static bool q_of(const warped::LpState& s) noexcept {
+    return (s.b & 1) != 0;
+  }
+
+  /// First clock edge at or after t (edges at phase + n·period).
+  warped::SimTime next_edge_at_or_after(warped::SimTime t) const;
+
+ private:
+  std::vector<FanoutPort> fanouts_;
+  warped::SimTime period_;
+  warped::SimTime phase_;
+  warped::SimTime delay_;
+};
+
+class InputLp final : public warped::LogicalProcess {
+ public:
+  InputLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
+          warped::SimTime delay, std::uint64_t seed);
+
+  warped::LpState initial_state() const override { return {}; }
+  void init(warped::Context& ctx) override;
+  void execute(warped::Context& ctx, warped::EventBatch batch) override;
+
+  /// The stimulus bit this input applies for vector index `n` — pure
+  /// counter-based hash, identical across rollbacks and node counts.
+  static bool vector_bit(std::uint64_t seed, warped::LpId lp,
+                         std::uint64_t n) noexcept;
+
+  static bool output_of(const warped::LpState& s) noexcept {
+    return (s.b & 1) != 0;
+  }
+
+ private:
+  std::vector<FanoutPort> fanouts_;
+  warped::SimTime period_;
+  warped::SimTime delay_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pls::logicsim

@@ -1,0 +1,33 @@
+#pragma once
+// Sequential reference simulator.
+//
+// The paper's "Seq Time" column comes from a plain sequential simulation of
+// the same model: one central event list, no state saving, no rollbacks, no
+// communication.  This engine executes the *same* LogicalProcess behaviours
+// as the Time Warp kernel with identical batch semantics, so its final
+// states and event counts are the ground truth the optimistic runs are
+// checked against (logicsim/equivalence.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "warped/lp.hpp"
+#include "warped/types.hpp"
+
+namespace pls::logicsim {
+
+struct SeqStats {
+  std::uint64_t events_processed = 0;  ///< every event is committed
+  double wall_seconds = 0.0;
+  std::vector<warped::LpState> final_states;
+  std::vector<std::uint64_t> per_lp_events;  ///< activity profile source
+};
+
+/// Run the model to `end_time`.  `event_cost_ns` charges the same per-batch
+/// CPU cost the parallel kernel charges, so sequential-vs-parallel wall
+/// times are an apples-to-apples speedup comparison.
+SeqStats simulate_sequential(const std::vector<warped::LogicalProcess*>& lps,
+                             warped::SimTime end_time,
+                             std::uint64_t event_cost_ns = 0);
+
+}  // namespace pls::logicsim

@@ -1,0 +1,58 @@
+#pragma once
+// The five baseline partitioning strategies of the study (paper §2, §5):
+//
+//   Random       — nodes assigned to partitions randomly, load balanced
+//                  (Kravitz & Ackland [15]); communication is its bottleneck.
+//   DepthFirst   — depth-first traversal of the circuit graph; gates are
+//                  assigned to partitions in traversal order [11].
+//   Cluster      — breadth-first variant of the same idea (the paper's
+//                  "Cluster (Breadth First)" strategy).
+//   Topological  — levelize the circuit, then assign nodes at the same
+//                  topological level to a partition (Cloutier [5],
+//                  Smith [19]); concurrency-friendly but cut-heavy.
+//   Cone         — fanout-cone clustering starting from the input gates
+//                  (Smith [19]); low communication, decent concurrency.
+//
+// All are deterministic given (circuit, k, seed).
+
+#include "partition/partition.hpp"
+
+namespace pls::partition {
+
+class RandomPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "Random"; }
+  Partition run(const circuit::Circuit& c, std::uint32_t k,
+                std::uint64_t seed) const override;
+};
+
+class DepthFirstPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "DFS"; }
+  Partition run(const circuit::Circuit& c, std::uint32_t k,
+                std::uint64_t seed) const override;
+};
+
+/// Breadth-first "Cluster" partitioner.
+class BfsClusterPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "Cluster"; }
+  Partition run(const circuit::Circuit& c, std::uint32_t k,
+                std::uint64_t seed) const override;
+};
+
+class TopologicalPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "Topological"; }
+  Partition run(const circuit::Circuit& c, std::uint32_t k,
+                std::uint64_t seed) const override;
+};
+
+class FanoutConePartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "ConePartition"; }
+  Partition run(const circuit::Circuit& c, std::uint32_t k,
+                std::uint64_t seed) const override;
+};
+
+}  // namespace pls::partition

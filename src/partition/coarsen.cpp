@@ -1,0 +1,339 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::partition {
+namespace {
+
+/// Internal working representation of one level: directed out-adjacency
+/// (needed by fanout coarsening), vertex weights, flags.
+struct WorkLevel {
+  std::vector<std::uint32_t> vweight;
+  std::vector<std::uint8_t> contains_input;
+  std::vector<std::uint8_t> is_start;  ///< traversal roots for this level
+  /// Directed out-edges with weights (deduplicated per source vertex).
+  std::vector<std::vector<graph::Edge>> out;
+
+  std::size_t size() const noexcept { return vweight.size(); }
+};
+
+WorkLevel base_level(const circuit::Circuit& c,
+                     const std::vector<double>* activity) {
+  WorkLevel w;
+  const auto n = c.size();
+  w.vweight.assign(n, 1);
+  w.contains_input.assign(n, 0);
+  w.is_start.assign(n, 0);
+  w.out.resize(n);
+  for (circuit::GateId pi : c.primary_inputs()) {
+    w.contains_input[pi] = 1;
+    w.is_start[pi] = 1;
+  }
+  for (circuit::GateId g = 0; g < n; ++g) {
+    const auto outs = c.fanouts(g);
+    auto& row = w.out[g];
+    row.reserve(outs.size());
+    // Activity scaling: a busy driver's signal is more expensive to cut, so
+    // its edges weigh more and the coarsener keeps its fanout together
+    // (paper §6 "activity levels of communication").
+    std::uint32_t base_weight = 1;
+    if (activity != nullptr && g < activity->size()) {
+      base_weight = 1 + static_cast<std::uint32_t>(
+                            std::lround(std::min(15.0, (*activity)[g])));
+    }
+    for (circuit::GateId t : outs) {
+      if (t == g) continue;
+      auto it = std::find_if(row.begin(), row.end(),
+                             [&](const graph::Edge& e) { return e.to == t; });
+      if (it == row.end()) {
+        row.push_back(graph::Edge{t, base_weight});
+      } else {
+        it->weight += base_weight;
+      }
+    }
+  }
+  return w;
+}
+
+/// One round of the paper's fanout coarsening; returns the fine-vertex →
+/// globule map and the globule count.
+std::pair<std::vector<std::uint32_t>, std::size_t> fanout_round(
+    const WorkLevel& lvl, std::uint64_t max_weight, util::Rng& rng) {
+  const std::size_t n = lvl.size();
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::vector<std::uint32_t> globule(n, kNone);
+  std::vector<std::uint8_t> glob_has_input;  // indexed by globule id
+  std::vector<std::uint64_t> glob_weight;    // indexed by globule id
+  std::vector<std::uint8_t> visited(n, 0);
+  std::uint32_t next_globule = 0;
+
+  // A vertex *chosen* for coarsening forms a globule with every
+  // still-unmerged vertex on its fanout; a vertex already absorbed into a
+  // globule has been "coarsened once" this level and may not be chosen
+  // again — the depth-first walk just continues through it.
+  auto choose = [&](std::uint32_t v) {
+    if (globule[v] != kNone) return;
+    const std::uint32_t g = next_globule++;
+    globule[v] = g;
+    glob_has_input.push_back(lvl.contains_input[v]);
+    glob_weight.push_back(lvl.vweight[v]);
+    for (const graph::Edge& e : lvl.out[v]) {
+      const std::uint32_t t = e.to;
+      if (globule[t] != kNone) continue;           // coarsened once per level
+      if (glob_has_input[g] && lvl.contains_input[t]) continue;  // PI rule
+      if (max_weight != 0 && glob_weight[g] + lvl.vweight[t] > max_weight) {
+        continue;  // weight cap: keep globules movable by refinement
+      }
+      globule[t] = g;
+      glob_weight[g] += lvl.vweight[t];
+      if (lvl.contains_input[t]) glob_has_input[g] = 1;
+    }
+  };
+
+  // Depth-first traversal seeded by the level's start vertices (primary
+  // inputs at level 0; previously-merged globules afterwards), then by every
+  // remaining vertex so flip-flop islands and disconnected logic are
+  // covered.  Start order is randomized: repeated runs with different seeds
+  // explore different, equally legal coarsenings.
+  std::vector<std::uint32_t> roots;
+  roots.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (lvl.is_start[v]) roots.push_back(v);
+  }
+  rng.shuffle(roots);
+  for (std::uint32_t v = 0; v < n; ++v) roots.push_back(v);
+
+  std::vector<std::uint32_t> stack;
+  for (const std::uint32_t root : roots) {
+    if (visited[root]) continue;
+    stack.push_back(root);
+    visited[root] = 1;
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      choose(v);
+      for (auto it = lvl.out[v].rbegin(); it != lvl.out[v].rend(); ++it) {
+        if (!visited[it->to]) {
+          visited[it->to] = 1;
+          stack.push_back(it->to);
+        }
+      }
+    }
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (globule[v] == kNone) {  // defensive: fallback roots cover everything
+      globule[v] = next_globule++;
+      glob_has_input.push_back(lvl.contains_input[v]);
+    }
+  }
+  return {std::move(globule), next_globule};
+}
+
+/// Heavy-edge matching round (alternative scheme): visit vertices in random
+/// order; match each unmatched vertex with the unmatched neighbour across
+/// its heaviest incident edge, respecting the primary-input rule.
+std::pair<std::vector<std::uint32_t>, std::size_t> heavy_edge_round(
+    const WorkLevel& lvl, std::uint64_t max_weight, util::Rng& rng) {
+  const std::size_t n = lvl.size();
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::vector<std::uint32_t> globule(n, kNone);
+  std::uint32_t next_globule = 0;
+
+  std::vector<std::vector<graph::Edge>> nbr(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const graph::Edge& e : lvl.out[v]) {
+      nbr[v].push_back(e);
+      nbr[e.to].push_back(graph::Edge{v, e.weight});
+    }
+  }
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  for (std::uint32_t v : order) {
+    if (globule[v] != kNone) continue;
+    std::uint32_t best = kNone;
+    std::uint32_t best_w = 0;
+    for (const graph::Edge& e : nbr[v]) {
+      if (globule[e.to] != kNone) continue;
+      if (lvl.contains_input[v] && lvl.contains_input[e.to]) continue;
+      if (max_weight != 0 &&
+          std::uint64_t{lvl.vweight[v]} + lvl.vweight[e.to] > max_weight) {
+        continue;
+      }
+      if (e.weight > best_w) {
+        best_w = e.weight;
+        best = e.to;
+      }
+    }
+    globule[v] = next_globule;
+    if (best != kNone) globule[best] = next_globule;
+    ++next_globule;
+  }
+  return {std::move(globule), next_globule};
+}
+
+/// Contract a level through `globule` into the next WorkLevel, filling in
+/// the public CoarseLevel (symmetrized graph + parent map) on the way.
+WorkLevel contract(const WorkLevel& fine,
+                   const std::vector<std::uint32_t>& globule,
+                   std::size_t num_globules, CoarseLevel* out_level) {
+  WorkLevel coarse;
+  coarse.vweight.assign(num_globules, 0);
+  coarse.contains_input.assign(num_globules, 0);
+  coarse.is_start.assign(num_globules, 0);
+  coarse.out.resize(num_globules);
+
+  std::vector<std::uint32_t> member_count(num_globules, 0);
+  for (std::size_t v = 0; v < fine.size(); ++v) {
+    const std::uint32_t g = globule[v];
+    coarse.vweight[g] += fine.vweight[v];
+    coarse.contains_input[g] |= fine.contains_input[v];
+    ++member_count[g];
+  }
+  // Next level's traversal starts at globules formed by actual merging this
+  // round ("coarsening starts from vertices that were just added to a
+  // globule in the previous level").
+  std::size_t merged = 0;
+  for (std::size_t g = 0; g < num_globules; ++g) {
+    if (member_count[g] >= 2) {
+      coarse.is_start[g] = 1;
+      ++merged;
+    }
+  }
+
+  // The edge set of a coarse vertex is the union of its members' edges
+  // (paper §3): self-loops dropped, parallel edges merged with summed
+  // weight.
+  for (std::size_t v = 0; v < fine.size(); ++v) {
+    const std::uint32_t gs = globule[v];
+    for (const graph::Edge& e : fine.out[v]) {
+      const std::uint32_t gt = globule[e.to];
+      if (gs == gt) continue;
+      coarse.out[gs].push_back(graph::Edge{gt, e.weight});
+    }
+  }
+  for (auto& row : coarse.out) {
+    std::sort(row.begin(), row.end(),
+              [](const graph::Edge& a, const graph::Edge& b) {
+                return a.to < b.to;
+              });
+    std::vector<graph::Edge> dedup;
+    dedup.reserve(row.size());
+    for (const graph::Edge& e : row) {
+      if (!dedup.empty() && dedup.back().to == e.to) {
+        dedup.back().weight += e.weight;
+      } else {
+        dedup.push_back(e);
+      }
+    }
+    row = std::move(dedup);
+  }
+
+  if (out_level != nullptr) {
+    std::vector<std::tuple<graph::VertexId, graph::VertexId, std::uint32_t>>
+        sym_edges;
+    for (std::uint32_t gs = 0; gs < coarse.out.size(); ++gs) {
+      for (const graph::Edge& e : coarse.out[gs]) {
+        sym_edges.emplace_back(gs, e.to, e.weight);
+      }
+    }
+    out_level->graph = graph::WeightedGraph(coarse.vweight, sym_edges);
+    out_level->parent_map = globule;
+    out_level->contains_input = coarse.contains_input;
+    out_level->merged_globules = merged;
+  }
+  return coarse;
+}
+
+}  // namespace
+
+Hierarchy coarsen(const circuit::Circuit& c, const CoarsenOptions& opt) {
+  PLS_CHECK_MSG(c.frozen(), "coarsen requires a frozen circuit");
+  const std::size_t threshold = opt.threshold == 0 ? 64 : opt.threshold;
+  util::Rng rng(opt.seed);
+
+  Hierarchy h;
+  WorkLevel cur = base_level(c, opt.activity);
+
+  // Public G0 view (for final-level refinement).
+  {
+    std::vector<std::tuple<graph::VertexId, graph::VertexId, std::uint32_t>>
+        edges;
+    for (std::uint32_t v = 0; v < cur.size(); ++v) {
+      for (const graph::Edge& e : cur.out[v]) {
+        edges.emplace_back(v, e.to, e.weight);
+      }
+    }
+    h.base = graph::WeightedGraph(cur.vweight, edges);
+    h.base_contains_input = cur.contains_input;
+  }
+
+  while (h.levels.size() < opt.max_levels && cur.size() > threshold) {
+    // Halt if every globule is an input globule: nothing legal remains to
+    // combine (the paper's second stopping condition).
+    const bool all_inputs =
+        std::all_of(cur.contains_input.begin(), cur.contains_input.end(),
+                    [](std::uint8_t b) { return b != 0; });
+    if (all_inputs) break;
+
+    auto [globule, count] =
+        opt.scheme == CoarsenScheme::kFanout
+            ? fanout_round(cur, opt.max_globule_weight, rng)
+            : heavy_edge_round(cur, opt.max_globule_weight, rng);
+    if (count == cur.size()) break;  // no merges happened; stuck
+
+    CoarseLevel level;
+    cur = contract(cur, globule, count, &level);
+    h.levels.push_back(std::move(level));
+  }
+  return h;
+}
+
+void check_hierarchy_invariants(const Hierarchy& h) {
+  const graph::WeightedGraph* fine = &h.base;
+  const std::vector<std::uint8_t>* fine_inputs = &h.base_contains_input;
+  for (std::size_t li = 0; li < h.levels.size(); ++li) {
+    const CoarseLevel& lvl = h.levels[li];
+    PLS_CHECK_MSG(lvl.parent_map.size() == fine->num_vertices(),
+                  "level " << li << " parent map incomplete");
+    // Disjoint cover: the map is total; every coarse vertex has >=1 member;
+    // coarse vertex weight equals the sum of member weights; at most one
+    // primary input per globule (transitively).
+    std::vector<std::uint64_t> wsum(lvl.graph.num_vertices(), 0);
+    std::vector<std::uint32_t> input_members(lvl.graph.num_vertices(), 0);
+    for (graph::VertexId v = 0; v < fine->num_vertices(); ++v) {
+      const std::uint32_t p = lvl.parent_map[v];
+      PLS_CHECK_MSG(p < lvl.graph.num_vertices(),
+                    "level " << li << " parent out of range");
+      wsum[p] += fine->vertex_weight(v);
+      input_members[p] += (*fine_inputs)[v] ? 1 : 0;
+    }
+    for (graph::VertexId g = 0; g < lvl.graph.num_vertices(); ++g) {
+      PLS_CHECK_MSG(wsum[g] == lvl.graph.vertex_weight(g),
+                    "level " << li << " globule " << g
+                             << " weight mismatch: members sum to " << wsum[g]
+                             << ", graph says "
+                             << lvl.graph.vertex_weight(g));
+      PLS_CHECK_MSG(wsum[g] > 0, "level " << li << " empty globule " << g);
+      PLS_CHECK_MSG(input_members[g] <= 1,
+                    "level " << li << " globule " << g << " combines "
+                             << input_members[g] << " primary inputs");
+      PLS_CHECK_MSG((lvl.contains_input[g] != 0) == (input_members[g] == 1),
+                    "level " << li << " globule " << g
+                             << " contains_input flag inconsistent");
+    }
+    fine = &lvl.graph;
+    fine_inputs = &lvl.contains_input;
+  }
+}
+
+}  // namespace pls::partition

@@ -1,0 +1,76 @@
+// Fanout-cone partitioner (Smith [19]).
+//
+// "A partitioning scheme based on fanout/fanin cone clustering starting
+// from the input gates" (paper §2).  Each primary input's fanout cone is a
+// natural cluster: all logic it can excite.  Cones are assigned, largest
+// first, to the currently least-loaded partition; gates in multiple cones
+// stay where the first (largest) cone put them; logic not reachable from
+// any primary input (flip-flop-fed islands) is swept up afterwards by
+// following the same least-loaded rule cone-by-cone from the flip-flops.
+
+#include <algorithm>
+#include <numeric>
+
+#include "circuit/cones.hpp"
+#include "partition/baselines.hpp"
+#include "util/check.hpp"
+
+namespace pls::partition {
+
+Partition FanoutConePartitioner::run(const circuit::Circuit& c,
+                                     std::uint32_t k,
+                                     std::uint64_t /*seed*/) const {
+  PLS_CHECK(k >= 1);
+  constexpr PartId kUnassigned = ~PartId{0};
+  Partition p;
+  p.k = k;
+  p.assign.assign(c.size(), kUnassigned);
+  std::vector<std::uint64_t> load(k, 0);
+
+  auto least_loaded = [&]() -> PartId {
+    return static_cast<PartId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+  };
+
+  auto place_cone = [&](circuit::GateId root) {
+    const auto cone = circuit::fanout_cone(c, root, /*through_dff=*/false);
+    // Count how much of the cone is still unassigned; empty remainder means
+    // nothing to do.
+    std::uint64_t fresh = 0;
+    for (circuit::GateId g : cone) fresh += (p.assign[g] == kUnassigned);
+    if (fresh == 0) return;
+    const PartId target = least_loaded();
+    for (circuit::GateId g : cone) {
+      if (p.assign[g] == kUnassigned) {
+        p.assign[g] = target;
+        ++load[target];
+      }
+    }
+  };
+
+  // Largest input cones first: big cones dominate load, so placing them
+  // first onto the emptiest node gives the best packing.
+  std::vector<std::pair<std::size_t, circuit::GateId>> by_size;
+  for (circuit::GateId pi : c.primary_inputs()) {
+    by_size.emplace_back(circuit::fanout_cone(c, pi).size(), pi);
+  }
+  std::sort(by_size.begin(), by_size.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [size, pi] : by_size) place_cone(pi);
+
+  // Sweep flip-flop-rooted cones for logic unreachable from the inputs.
+  for (circuit::GateId ff : c.flip_flops()) {
+    if (p.assign[ff] == kUnassigned) place_cone(ff);
+  }
+  // Anything still left (isolated gates) goes to the least-loaded part.
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    if (p.assign[g] == kUnassigned) {
+      const PartId target = least_loaded();
+      p.assign[g] = target;
+      ++load[target];
+    }
+  }
+  return p;
+}
+
+}  // namespace pls::partition

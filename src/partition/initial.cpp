@@ -1,0 +1,75 @@
+#include "partition/initial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::partition {
+
+Partition initial_partition(const graph::WeightedGraph& g,
+                            const std::vector<std::uint8_t>& contains_input,
+                            const InitialOptions& opt) {
+  PLS_CHECK(opt.k >= 1);
+  PLS_CHECK(contains_input.size() == g.num_vertices());
+  util::Rng rng(opt.seed);
+
+  Partition p;
+  p.k = opt.k;
+  p.assign.assign(g.num_vertices(), 0);
+
+  std::vector<std::uint64_t> load(opt.k, 0);
+  const double ideal = static_cast<double>(g.total_vertex_weight()) /
+                       static_cast<double>(opt.k);
+  const auto limit = static_cast<std::uint64_t>(
+      std::ceil(ideal * (1.0 + opt.balance_tol)));
+
+  auto least_loaded = [&]() -> PartId {
+    return static_cast<PartId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+  };
+
+  // Phase 1: spread the input globules equally across the partitions.
+  // Heaviest first onto the least-loaded part — "split equally … such that
+  // the load is sufficiently balanced" — which both balances weight and
+  // guarantees each part gets ~|inputs|/k input globules (concurrency).
+  std::vector<graph::VertexId> inputs;
+  std::vector<graph::VertexId> rest;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    (contains_input[v] ? inputs : rest).push_back(v);
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [&](graph::VertexId a, graph::VertexId b) {
+              return g.vertex_weight(a) > g.vertex_weight(b);
+            });
+  for (graph::VertexId v : inputs) {
+    const PartId target = least_loaded();
+    p.assign[v] = target;
+    load[target] += g.vertex_weight(v);
+  }
+
+  // Phase 2: remaining globules in random order to a random part that
+  // stays under the balance limit; least-loaded as a fallback when no part
+  // can take the globule within tolerance.
+  rng.shuffle(rest);
+  for (graph::VertexId v : rest) {
+    const std::uint64_t w = g.vertex_weight(v);
+    PartId target = opt.k;  // sentinel: unset
+    const auto start = static_cast<PartId>(rng.below(opt.k));
+    for (std::uint32_t probe = 0; probe < opt.k; ++probe) {
+      const PartId cand = (start + probe) % opt.k;
+      if (load[cand] + w <= limit) {
+        target = cand;
+        break;
+      }
+    }
+    if (target == opt.k) target = least_loaded();
+    p.assign[v] = target;
+    load[target] += w;
+  }
+  return p;
+}
+
+}  // namespace pls::partition

@@ -1,0 +1,31 @@
+#pragma once
+// Initial partitioning phase of the multilevel algorithm (paper §3).
+//
+// At the coarsest level a k-way partition is formed: "all the input
+// globules in the coarsest level are split equally across the partitions
+// such that the load is sufficiently balanced.  Any remaining globules are
+// assigned to partitions in a random manner, maintaining load balance."
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/weighted_graph.hpp"
+#include "partition/partition.hpp"
+
+namespace pls::partition {
+
+struct InitialOptions {
+  std::uint32_t k = 2;
+  std::uint64_t seed = 1;
+  /// Load-balance tolerance: a part may not exceed ceil(W/k)·(1+tol)
+  /// during random assignment, except when a single globule alone exceeds
+  /// it (then least-loaded placement is used).
+  double balance_tol = 0.10;
+};
+
+/// k-way initial partition of the coarsest globule graph.
+Partition initial_partition(const graph::WeightedGraph& g,
+                            const std::vector<std::uint8_t>& contains_input,
+                            const InitialOptions& opt);
+
+}  // namespace pls::partition

@@ -1,0 +1,104 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "circuit/levelize.hpp"
+#include "util/check.hpp"
+
+namespace pls::partition {
+
+std::uint64_t edge_cut(const circuit::Circuit& c, const Partition& p) {
+  p.validate(c.size());
+  std::uint64_t cut = 0;
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    for (circuit::GateId f : c.fanins(g)) {
+      if (p.assign[f] != p.assign[g]) ++cut;
+    }
+  }
+  return cut;
+}
+
+std::uint64_t edge_cut(const graph::WeightedGraph& g, const Partition& p) {
+  p.validate(g.num_vertices());
+  std::uint64_t cut = 0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& e : g.neighbors(v)) {
+      if (e.to > v && p.assign[e.to] != p.assign[v]) cut += e.weight;
+    }
+  }
+  return cut;
+}
+
+namespace {
+
+double imbalance_from_loads(const std::vector<std::uint64_t>& loads,
+                            std::uint64_t total, std::uint32_t k) {
+  PLS_CHECK(k >= 1);
+  if (total == 0) return 1.0;
+  const double ideal = static_cast<double>(total) / static_cast<double>(k);
+  const std::uint64_t mx = *std::max_element(loads.begin(), loads.end());
+  return static_cast<double>(mx) / ideal;
+}
+
+}  // namespace
+
+double imbalance(const circuit::Circuit& c, const Partition& p) {
+  p.validate(c.size());
+  return imbalance_from_loads(p.loads(), c.size(), p.k);
+}
+
+double imbalance(const graph::WeightedGraph& g, const Partition& p) {
+  p.validate(g.num_vertices());
+  std::vector<std::uint32_t> w(g.num_vertices());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    w[v] = g.vertex_weight(v);
+  }
+  return imbalance_from_loads(p.loads(w), g.total_vertex_weight(), p.k);
+}
+
+double concurrency(const circuit::Circuit& c, const Partition& p) {
+  p.validate(c.size());
+  const auto lv = circuit::levelize(c);
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  std::vector<std::uint64_t> per_part(p.k);
+  for (const auto& gates : lv.by_level) {
+    if (gates.empty()) continue;
+    std::fill(per_part.begin(), per_part.end(), 0);
+    for (circuit::GateId g : gates) ++per_part[p.assign[g]];
+    const std::uint64_t mx =
+        *std::max_element(per_part.begin(), per_part.end());
+    // Perfectly spread level: max = ceil(n / min(k, n)).  Score is the ratio
+    // of that ideal to the actual bottleneck part.
+    const auto n = static_cast<std::uint64_t>(gates.size());
+    const std::uint64_t eff_k = std::min<std::uint64_t>(p.k, n);
+    const std::uint64_t ideal_max = (n + eff_k - 1) / eff_k;
+    const double score =
+        static_cast<double>(ideal_max) / static_cast<double>(mx);
+    weighted_sum += score * static_cast<double>(n);
+    weight_total += static_cast<double>(n);
+  }
+  return weight_total > 0 ? weighted_sum / weight_total : 1.0;
+}
+
+std::uint64_t comm_volume(const circuit::Circuit& c, const Partition& p) {
+  p.validate(c.size());
+  std::uint64_t volume = 0;
+  std::vector<PartId> seen;
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    seen.clear();
+    const PartId home = p.assign[g];
+    for (circuit::GateId out : c.fanouts(g)) {
+      const PartId q = p.assign[out];
+      if (q == home) continue;
+      if (std::find(seen.begin(), seen.end(), q) == seen.end()) {
+        seen.push_back(q);
+      }
+    }
+    volume += seen.size();
+  }
+  return volume;
+}
+
+}  // namespace pls::partition

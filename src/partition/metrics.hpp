@@ -1,0 +1,46 @@
+#pragma once
+// Static partition-quality metrics.
+//
+// The paper evaluates partitions dynamically (execution time, messages,
+// rollbacks) but reasons about them statically through three properties the
+// multilevel algorithm explicitly balances (§1, §3): inter-processor
+// communication (edge cut), load balance, and concurrency.  These metrics
+// quantify each and drive the bench_partition_quality harness plus many
+// property tests.
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "graph/weighted_graph.hpp"
+#include "partition/partition.hpp"
+
+namespace pls::partition {
+
+/// Number of directed circuit edges (signal connections) whose endpoints
+/// lie in different parts — the paper's "edges cut" quality measure.
+std::uint64_t edge_cut(const circuit::Circuit& c, const Partition& p);
+
+/// Weighted cut of a (possibly coarsened) partitioning graph.
+std::uint64_t edge_cut(const graph::WeightedGraph& g, const Partition& p);
+
+/// Load imbalance: max part load / ideal load (1.0 = perfect).  Unit gate
+/// weights, matching the paper's "equal number of vertices" balance notion.
+double imbalance(const circuit::Circuit& c, const Partition& p);
+double imbalance(const graph::WeightedGraph& g, const Partition& p);
+
+/// Concurrency metric in [0,1]: how evenly each topological level's gates
+/// spread over the k parts, averaged over levels weighted by level size.
+/// 1.0 means every level could execute with all k nodes busy (or is smaller
+/// than k but perfectly spread); a single-part assignment of every level
+/// scores 1/k.  This captures the paper's "equal number of gates are active
+/// in each partition at any simulation instance" ideal (§3).
+double concurrency(const circuit::Circuit& c, const Partition& p);
+
+/// Total communication volume (λ−1 metric): for each gate, the number of
+/// distinct *other* parts its fanout touches, summed.  Counts each logical
+/// signal broadcast once per destination node, which is exactly the number
+/// of inter-node application messages one signal transition generates in
+/// the Time Warp layer.
+std::uint64_t comm_volume(const circuit::Circuit& c, const Partition& p);
+
+}  // namespace pls::partition

@@ -1,0 +1,93 @@
+#include "partition/multilevel_partitioner.hpp"
+
+#include <algorithm>
+
+#include "partition/initial.hpp"
+#include "partition/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::partition {
+
+Partition MultilevelPartitioner::run(const circuit::Circuit& c,
+                                     std::uint32_t k,
+                                     std::uint64_t seed) const {
+  return run_traced(c, k, seed, nullptr);
+}
+
+Partition MultilevelPartitioner::run_traced(const circuit::Circuit& c,
+                                            std::uint32_t k,
+                                            std::uint64_t seed,
+                                            MultilevelTrace* trace) const {
+  PLS_CHECK(k >= 1);
+  util::SplitMix64 seeder(seed);
+
+  // ---- Phase 1: coarsening --------------------------------------------
+  CoarsenOptions copt;
+  copt.threshold = opt_.coarsen_threshold != 0
+                       ? opt_.coarsen_threshold
+                       : std::max<std::size_t>(std::size_t{4} * k, 64);
+  copt.scheme = opt_.scheme;
+  copt.seed = seeder.next();
+  copt.activity = opt_.activity;
+  // Cap globules at a quarter of the ideal per-part load so the initial
+  // phase can balance and refinement retains movable units.
+  copt.max_globule_weight = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(c.size()) / (std::uint64_t{4} * k));
+  const Hierarchy h = coarsen(c, copt);
+
+  if (trace != nullptr) {
+    trace->level_sizes.clear();
+    for (const auto& lvl : h.levels) {
+      trace->level_sizes.push_back(lvl.graph.num_vertices());
+    }
+  }
+
+  // ---- Phase 2: initial k-way partitioning at the coarsest level ------
+  InitialOptions iopt;
+  iopt.k = k;
+  iopt.seed = seeder.next();
+  iopt.balance_tol = opt_.balance_tol;
+  Partition p = initial_partition(h.coarsest(), h.coarsest_contains_input(),
+                                  iopt);
+  if (trace != nullptr) trace->initial_cut = edge_cut(h.coarsest(), p);
+
+  // ---- Phase 3: refinement, projecting from G_m down to G_0 -----------
+  const auto refiner = make_refiner(opt_.refiner);
+  RefineOptions ropt;
+  ropt.balance_tol = opt_.balance_tol;
+  ropt.max_iters = opt_.refine_iters;
+
+  ropt.seed = seeder.next();
+  refiner->refine(h.coarsest(), p, ropt);
+  if (trace != nullptr) {
+    trace->cut_after_level.push_back(edge_cut(h.coarsest(), p));
+  }
+
+  for (std::size_t i = h.levels.size(); i-- > 0;) {
+    // Project to the next finer level: every member vertex inherits its
+    // globule's partition — ∀ v ∈ V_ij : P[v] = P[V_ij] (paper §3).
+    const auto& map = h.levels[i].parent_map;
+    Partition finer;
+    finer.k = k;
+    finer.assign.resize(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      finer.assign[v] = p.assign[map[v]];
+    }
+    p = std::move(finer);
+
+    const graph::WeightedGraph& gfine =
+        i == 0 ? h.base : h.levels[i - 1].graph;
+    ropt.seed = seeder.next();
+    refiner->refine(gfine, p, ropt);
+    if (trace != nullptr) {
+      trace->cut_after_level.push_back(edge_cut(gfine, p));
+    }
+  }
+
+  if (trace != nullptr) trace->final_cut = edge_cut(h.base, p);
+  p.validate(c.size());
+  return p;
+}
+
+}  // namespace pls::partition

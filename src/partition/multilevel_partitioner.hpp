@@ -1,0 +1,63 @@
+#pragma once
+// The multilevel partitioning algorithm — the paper's contribution (§3).
+//
+// Three decoupled phases, each optimizing one concern:
+//   1. Coarsening     — concurrency   (fanout coarsening from the inputs)
+//   2. Initial k-way  — load balance  (input globules spread equally)
+//   3. Refinement     — communication (greedy k-way cut reduction at every
+//                                      level, projecting downward)
+//
+// Complexity is O(|E|) per level and O(|E|) overall (the level sizes form a
+// geometric series), making it "a fast linear time heuristic" — verified
+// empirically by bench_complexity.
+
+#include <vector>
+
+#include "partition/coarsen.hpp"
+#include "partition/partition.hpp"
+#include "partition/refine.hpp"
+
+namespace pls::partition {
+
+struct MultilevelOptions {
+  /// Coarsening stops at this globule count; 0 = auto (max(4k, 64)).
+  std::size_t coarsen_threshold = 0;
+  CoarsenScheme scheme = CoarsenScheme::kFanout;
+  RefinerKind refiner = RefinerKind::kGreedy;
+  /// Tight by default: the baselines balance to within one gate, and any
+  /// slack here shows up directly as one lagging node at runtime.
+  double balance_tol = 0.03;
+  std::uint32_t refine_iters = 8;
+  /// Optional per-gate activity profile (see CoarsenOptions::activity).
+  const std::vector<double>* activity = nullptr;
+};
+
+/// Per-run diagnostics for benchmarking and tests.
+struct MultilevelTrace {
+  std::vector<std::size_t> level_sizes;   ///< |V| of G1..Gm
+  std::vector<std::uint64_t> cut_after_level;  ///< cut after refining level i
+  std::uint64_t initial_cut = 0;          ///< cut right after initial phase
+  std::uint64_t final_cut = 0;            ///< weighted cut on G0
+};
+
+class MultilevelPartitioner final : public Partitioner {
+ public:
+  MultilevelPartitioner() = default;
+  explicit MultilevelPartitioner(MultilevelOptions opt) : opt_(opt) {}
+
+  std::string name() const override { return "Multilevel"; }
+
+  Partition run(const circuit::Circuit& c, std::uint32_t k,
+                std::uint64_t seed) const override;
+
+  /// Like run(), optionally filling a trace of the per-level progress.
+  Partition run_traced(const circuit::Circuit& c, std::uint32_t k,
+                       std::uint64_t seed, MultilevelTrace* trace) const;
+
+  const MultilevelOptions& options() const noexcept { return opt_; }
+
+ private:
+  MultilevelOptions opt_;
+};
+
+}  // namespace pls::partition

@@ -1,0 +1,30 @@
+#include "partition/baselines.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::partition {
+
+Partition RandomPartitioner::run(const circuit::Circuit& c, std::uint32_t k,
+                                 std::uint64_t seed) const {
+  PLS_CHECK(k >= 1);
+  util::Rng rng(seed);
+  std::vector<circuit::GateId> order(c.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  // Dealing a shuffled deck round-robin is random *and* perfectly load
+  // balanced, matching the description in [15]: "assigns nodes to partitions
+  // in a random and load balanced manner".
+  Partition p;
+  p.k = k;
+  p.assign.resize(c.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    p.assign[order[i]] = static_cast<PartId>(i % k);
+  }
+  return p;
+}
+
+}  // namespace pls::partition

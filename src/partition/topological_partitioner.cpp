@@ -1,0 +1,42 @@
+// Topological (level) partitioner.
+//
+// "This technique proceeds by first levelizing the circuit graph and then
+// assigning nodes at the same topological level to a partition" (paper §2,
+// after Cloutier [5] and Smith [19]).  Gates within each topological level
+// are dealt round-robin across the k partitions, so the gates that can fire
+// concurrently (same level) sit on different nodes — maximal concurrency at
+// the price of cutting essentially every level-to-level signal.  The paper
+// identifies exactly that trade as this strategy's downfall: "more signals
+// are split across partitions for concurrency", so "the performance of the
+// Topological algorithm is limited due to increased communication
+// overheads".
+
+#include "circuit/levelize.hpp"
+#include "partition/baselines.hpp"
+#include "util/check.hpp"
+
+namespace pls::partition {
+
+Partition TopologicalPartitioner::run(const circuit::Circuit& c,
+                                      std::uint32_t k,
+                                      std::uint64_t /*seed*/) const {
+  PLS_CHECK(k >= 1);
+  const auto lv = circuit::levelize(c);
+
+  Partition p;
+  p.k = k;
+  p.assign.resize(c.size());
+
+  // Deal each level's gates cyclically, continuing the rotation across
+  // levels so the overall load stays balanced to within one gate.
+  std::uint32_t cursor = 0;
+  for (const auto& gates : lv.by_level) {
+    for (circuit::GateId g : gates) {
+      p.assign[g] = cursor;
+      cursor = (cursor + 1) % k;
+    }
+  }
+  return p;
+}
+
+}  // namespace pls::partition

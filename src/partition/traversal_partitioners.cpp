@@ -1,0 +1,110 @@
+// Depth-first and breadth-first traversal partitioners.
+//
+// Both linearize the circuit graph by a traversal rooted at the primary
+// inputs (then flip-flops, then any still-unvisited gate so disconnected
+// logic is covered), and cut the linear order into k equal-weight chunks.
+// Contiguity in traversal order keeps connected structures together, which
+// is these algorithms' whole selling point — and, per the paper's results,
+// their weakness at higher node counts (poor concurrency).
+
+#include <deque>
+
+#include "partition/baselines.hpp"
+#include "util/check.hpp"
+
+namespace pls::partition {
+namespace {
+
+/// Chop `order` (a permutation of all gates) into k contiguous chunks of
+/// nearly equal size: the first (n mod k) chunks get one extra gate.
+Partition chop(const std::vector<circuit::GateId>& order, std::uint32_t k) {
+  const std::size_t n = order.size();
+  Partition p;
+  p.k = k;
+  p.assign.resize(n);
+  const std::size_t base = n / k;
+  const std::size_t extra = n % k;
+  std::size_t idx = 0;
+  for (std::uint32_t part = 0; part < k; ++part) {
+    const std::size_t take = base + (part < extra ? 1 : 0);
+    for (std::size_t i = 0; i < take; ++i) {
+      p.assign[order[idx++]] = part;
+    }
+  }
+  PLS_CHECK(idx == n);
+  return p;
+}
+
+/// Roots for traversals: primary inputs first (the paper's traversals start
+/// from the inputs), then flip-flops, then everything else as fallback.
+std::vector<circuit::GateId> traversal_roots(const circuit::Circuit& c) {
+  std::vector<circuit::GateId> roots = c.primary_inputs();
+  roots.insert(roots.end(), c.flip_flops().begin(), c.flip_flops().end());
+  for (circuit::GateId g = 0; g < c.size(); ++g) roots.push_back(g);
+  return roots;
+}
+
+}  // namespace
+
+Partition DepthFirstPartitioner::run(const circuit::Circuit& c,
+                                     std::uint32_t k,
+                                     std::uint64_t /*seed*/) const {
+  PLS_CHECK(k >= 1);
+  std::vector<std::uint8_t> seen(c.size(), 0);
+  std::vector<circuit::GateId> order;
+  order.reserve(c.size());
+  std::vector<circuit::GateId> stack;
+
+  for (circuit::GateId root : traversal_roots(c)) {
+    if (seen[root]) continue;
+    stack.push_back(root);
+    seen[root] = 1;
+    while (!stack.empty()) {
+      const circuit::GateId g = stack.back();
+      stack.pop_back();
+      order.push_back(g);
+      const auto outs = c.fanouts(g);
+      // Push in reverse so the lowest-id fanout is visited first — a fixed,
+      // reproducible DFS order.
+      for (std::size_t i = outs.size(); i-- > 0;) {
+        if (!seen[outs[i]]) {
+          seen[outs[i]] = 1;
+          stack.push_back(outs[i]);
+        }
+      }
+    }
+  }
+  PLS_CHECK(order.size() == c.size());
+  return chop(order, k);
+}
+
+Partition BfsClusterPartitioner::run(const circuit::Circuit& c,
+                                     std::uint32_t k,
+                                     std::uint64_t /*seed*/) const {
+  PLS_CHECK(k >= 1);
+  std::vector<std::uint8_t> seen(c.size(), 0);
+  std::vector<circuit::GateId> order;
+  order.reserve(c.size());
+  std::deque<circuit::GateId> queue;
+
+  for (circuit::GateId root : traversal_roots(c)) {
+    if (seen[root]) continue;
+    queue.push_back(root);
+    seen[root] = 1;
+    while (!queue.empty()) {
+      const circuit::GateId g = queue.front();
+      queue.pop_front();
+      order.push_back(g);
+      for (circuit::GateId out : c.fanouts(g)) {
+        if (!seen[out]) {
+          seen[out] = 1;
+          queue.push_back(out);
+        }
+      }
+    }
+  }
+  PLS_CHECK(order.size() == c.size());
+  return chop(order, k);
+}
+
+}  // namespace pls::partition

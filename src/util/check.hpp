@@ -1,0 +1,50 @@
+#pragma once
+// Precondition / invariant checking macros.
+//
+// PLS_CHECK is always on (cheap, used at API boundaries); PLS_DCHECK compiles
+// away in release builds and is used inside hot loops.  Failures throw
+// pls::util::CheckError so tests can assert on violated contracts instead of
+// aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pls::util {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace pls::util
+
+#define PLS_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::pls::util::check_failed(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define PLS_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      std::ostringstream pls_check_os_;                              \
+      pls_check_os_ << msg;                                          \
+      ::pls::util::check_failed(#expr, __FILE__, __LINE__,           \
+                                pls_check_os_.str());                \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define PLS_DCHECK(expr) ((void)0)
+#else
+#define PLS_DCHECK(expr) PLS_CHECK(expr)
+#endif

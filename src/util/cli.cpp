@@ -1,0 +1,108 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace pls::util {
+
+Cli::Cli(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", "print this help text", "false");
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help,
+                   const std::string& default_value) {
+  PLS_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{help, default_value, default_value};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!value) {
+      // Boolean flags may omit the value; others consume the next token.
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+        return false;
+      }
+    }
+    it->second.value = *value;
+  }
+  if (get_bool("help")) {
+    std::fprintf(stdout, "%s", usage().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  PLS_CHECK_MSG(it != flags_.end(), "unregistered flag --" << name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + " expects an integer, got '" +
+                             v + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::runtime_error("flag --" + name + " expects a number, got '" +
+                             v + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("flag --" + name + " expects a boolean, got '" +
+                           v + "'");
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pls::util

@@ -1,0 +1,48 @@
+#pragma once
+// Tiny command-line flag parser for the examples and bench harnesses.
+// Supports --name=value, --name value, and boolean --flag forms; unknown
+// flags are an error so typos in experiment scripts fail fast.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pls::util {
+
+class Cli {
+ public:
+  Cli(std::string program_description);
+
+  /// Register flags before parse(). `help` is printed by usage().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+
+  /// Parse argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional arguments left over after flag parsing.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    std::string default_value;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pls::util

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal CSV writer used by every bench harness so each table/figure can be
+// re-plotted from machine-readable output (the paper's figures are line/bar
+// charts over the same data as its tables).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pls::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; fields are quoted only when needed (comma, quote, NL).
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: mixed string/number rows built by the caller via
+  /// std::to_string; provided for symmetry with row().
+  void flush();
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pls::util

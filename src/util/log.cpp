@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace pls::util {
+namespace {
+
+std::atomic<int> g_level{[] {
+  if (const char* env = std::getenv("PLS_LOG_LEVEL")) {
+    if (std::strcmp(env, "debug") == 0) return 3;
+    if (std::strcmp(env, "info") == 0) return 2;
+    if (std::strcmp(env, "warn") == 0) return 1;
+    if (std::strcmp(env, "error") == 0) return 0;
+  }
+  return 1;  // warnings by default
+}()};
+
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[pls %s] %s\n", level_name(level), line.c_str());
+}
+
+}  // namespace detail
+}  // namespace pls::util

@@ -1,0 +1,36 @@
+#pragma once
+// Leveled stderr logger.  Thread-safe line-at-a-time output: the Time Warp
+// kernel logs from every node thread and interleaved partial lines would be
+// unreadable.  Verbosity defaults to warnings-only so test and bench output
+// stays clean; PLS_LOG_LEVEL env var or set_level() raise it.
+
+#include <sstream>
+#include <string>
+
+namespace pls::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+}  // namespace pls::util
+
+#define PLS_LOG(level, expr)                                          \
+  do {                                                                \
+    if (static_cast<int>(level) <=                                    \
+        static_cast<int>(::pls::util::log_level())) {                 \
+      std::ostringstream pls_log_os_;                                 \
+      pls_log_os_ << expr;                                            \
+      ::pls::util::detail::log_line(level, pls_log_os_.str());        \
+    }                                                                 \
+  } while (0)
+
+#define PLS_ERROR(expr) PLS_LOG(::pls::util::LogLevel::kError, expr)
+#define PLS_WARN(expr) PLS_LOG(::pls::util::LogLevel::kWarn, expr)
+#define PLS_INFO(expr) PLS_LOG(::pls::util::LogLevel::kInfo, expr)
+#define PLS_DEBUG(expr) PLS_LOG(::pls::util::LogLevel::kDebug, expr)

@@ -1,0 +1,133 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized components in this project (circuit generators, the Random
+// partitioner, greedy-refinement visit order, stimulus vectors) take an
+// explicit 64-bit seed so every experiment in the paper reproduction is
+// exactly repeatable.  We use SplitMix64 for seeding and xoshiro256** as the
+// workhorse generator; both are tiny, allocation-free and much faster than
+// std::mt19937_64 while passing BigCrush.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace pls::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 64-bit generator (Blackman & Vigna, 2018).
+/// Satisfies UniformRandomBitGenerator so it can be used with <random>
+/// distributions, though the helper members below avoid that in hot paths.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Rejection-free for our purposes: bias is < 2^-64 * bound, negligible
+    // for bound << 2^64; we still apply Lemire's threshold test for
+    // exactness because partition assignment fairness is load-bearing.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  constexpr void shuffle(Container& c) noexcept {
+    const auto n = c.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-thread / per-component
+  /// streams that must not correlate with the parent).
+  constexpr Rng split() noexcept {
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace pls::util

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pls::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PLS_CHECK(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  PLS_CHECK_MSG(row.size() == header_.size(),
+                "row width " << row.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void AsciiTable::add_rule() { pending_rule_ = true; }
+
+std::string AsciiTable::num(double v, int precision) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << " |";
+    }
+    os << '\n';
+    return os.str();
+  };
+
+  std::string out = hline() + line(header_) + hline();
+  for (const auto& r : rows_) {
+    if (r.rule_before) out += hline();
+    out += line(r.cells);
+  }
+  out += hline();
+  return out;
+}
+
+}  // namespace pls::util

@@ -1,0 +1,37 @@
+#pragma once
+// ASCII table renderer.  The bench harnesses print paper-style tables
+// (e.g. Table 2 "Simulation Time for the different partitioning algorithms")
+// to stdout alongside the CSV files.
+
+#include <string>
+#include <vector>
+
+namespace pls::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal rule before the next row (visual grouping, as the
+  /// paper's Table 2 groups rows by circuit).
+  void add_rule();
+
+  std::string render() const;
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Format a double with fixed precision; "-" for NaN (the paper marks the
+  /// s15850 out-of-memory cell by omission).
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace pls::util

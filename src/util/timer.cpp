@@ -1,0 +1,53 @@
+#include "util/timer.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace pls::util {
+namespace {
+
+// The spin kernel: a dependency chain of cheap integer ops the compiler
+// cannot elide (result escapes through a volatile sink) or vectorize.
+std::uint64_t spin_kernel(std::uint64_t iters) noexcept {
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+volatile std::uint64_t g_sink;  // defeats dead-code elimination
+
+double calibrate() noexcept {
+  // Warm up, then measure a block large enough to amortize clock overhead.
+  g_sink = spin_kernel(10'000);
+  constexpr std::uint64_t kIters = 2'000'000;
+  WallTimer t;
+  g_sink = spin_kernel(kIters);
+  const double ns = static_cast<double>(t.elapsed_ns());
+  if (ns <= 0.0) return 1.0;
+  return static_cast<double>(kIters) / ns;
+}
+
+double iters_per_ns() noexcept {
+  static const double v = [] {
+    const double c = calibrate();
+    return c > 0.0 ? c : 1.0;
+  }();
+  return v;
+}
+
+}  // namespace
+
+double spin_iters_per_ns() noexcept { return iters_per_ns(); }
+
+void busy_spin_ns(std::uint64_t ns) noexcept {
+  if (ns == 0) return;
+  const auto iters =
+      static_cast<std::uint64_t>(static_cast<double>(ns) * iters_per_ns());
+  g_sink = spin_kernel(iters);
+}
+
+}  // namespace pls::util

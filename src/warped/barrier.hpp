@@ -1,0 +1,49 @@
+#pragma once
+// Sense-reversing spin barrier for the GVT rendezvous.
+//
+// GVT is computed with a stop-the-world rendezvous (DESIGN.md): node
+// threads only send messages while *processing*, so once every thread is
+// parked at the barrier there are no transient messages outside the
+// mailboxes and the reduction over (pending events ∪ mailboxes ∪ holding
+// heaps) is an exact global minimum.  A spin barrier (not std::barrier) is
+// used because waits are sub-microsecond at our node counts and we must
+// never let a node thread sleep while holding Time Warp work.
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace pls::warped {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants)
+      : participants_(participants) {
+    PLS_CHECK(participants >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Block (spinning) until all participants arrive.
+  void arrive_and_wait() noexcept {
+    const std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      epoch_.store(my_epoch + 1, std::memory_order_release);
+    } else {
+      while (epoch_.load(std::memory_order_acquire) == my_epoch) {
+        // spin; GVT rendezvous latency is the simulation's critical path
+      }
+    }
+  }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace pls::warped

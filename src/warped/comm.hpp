@@ -1,0 +1,120 @@
+#pragma once
+// Inter-node communication: mailboxes plus the modeled network.
+//
+// The paper's testbed was eight workstations on fast Ethernet — inter-node
+// messages were orders of magnitude more expensive than intra-node event
+// handoffs.  On a single multicore that asymmetry disappears, so we model
+// it explicitly (DESIGN.md §3.2):
+//   * the sender burns `send_overhead_ns` of CPU per inter-node message
+//     (marshalling / protocol stack cost), and
+//   * the message only becomes *deliverable* `latency_ns` of wall-clock
+//     time after the send (wire + switch latency).
+// Intra-node events bypass all of this, exactly as LPs inside one WARPED
+// cluster communicated directly.
+//
+// A Mailbox is the receive endpoint of one node: senders append under a
+// mutex; the owner drains everything into its local holding heap and pops
+// entries as their delivery deadline passes.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "warped/types.hpp"
+
+namespace pls::warped {
+
+struct NetworkModel {
+  std::uint64_t send_overhead_ns = 0;  ///< sender CPU cost per message
+  std::uint64_t latency_ns = 0;        ///< delivery delay (wall clock)
+};
+
+/// A message in flight: deliverable once wall-clock `deliver_at_ns`
+/// (relative to the kernel's epoch) has passed.
+struct InFlight {
+  std::uint64_t deliver_at_ns = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break for equal deadlines
+  Event event;
+
+  friend bool operator>(const InFlight& a, const InFlight& b) noexcept {
+    if (a.deliver_at_ns != b.deliver_at_ns) {
+      return a.deliver_at_ns > b.deliver_at_ns;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+/// Multi-producer single-consumer mailbox.
+class Mailbox {
+ public:
+  void push(InFlight msg) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    box_.push_back(std::move(msg));
+  }
+
+  /// Move everything out (the owner re-buffers not-yet-deliverable
+  /// messages in its holding heap).
+  void drain(std::vector<InFlight>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (box_.empty()) return;
+    out.insert(out.end(), box_.begin(), box_.end());
+    box_.clear();
+  }
+
+  /// Minimum receive timestamp of queued messages (kEndOfTime if empty).
+  /// Used by the GVT computation while all node threads are quiescent.
+  SimTime min_recv_time() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SimTime m = kEndOfTime;
+    for (const auto& f : box_) m = std::min(m, f.event.recv_time);
+    return m;
+  }
+
+  bool empty() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return box_.empty();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<InFlight> box_;
+};
+
+/// Min-heap (by delivery deadline) of in-flight messages held at the
+/// receiver until their deadline passes.  Hand-rolled over a vector so the
+/// GVT computation can scan the live entries for their minimum receive
+/// timestamp (std::priority_queue hides its container).
+class HoldingHeap {
+ public:
+  void push(InFlight msg) {
+    heap_.push_back(std::move(msg));
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  const InFlight& top() const { return heap_.front(); }
+
+  InFlight pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    InFlight msg = std::move(heap_.back());
+    heap_.pop_back();
+    return msg;
+  }
+
+  /// Minimum receive timestamp over all held messages (kEndOfTime if
+  /// empty); exact, for the GVT reduction.
+  SimTime min_recv_time() const noexcept {
+    SimTime m = kEndOfTime;
+    for (const auto& f : heap_) m = std::min(m, f.event.recv_time);
+    return m;
+  }
+
+ private:
+  std::vector<InFlight> heap_;
+};
+
+}  // namespace pls::warped

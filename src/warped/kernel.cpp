@@ -1,0 +1,357 @@
+#include "warped/kernel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pls::warped {
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct SchedEntry {
+  SimTime time;
+  LpId lp;
+  friend bool operator>(const SchedEntry& a, const SchedEntry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.lp > b.lp;
+  }
+};
+
+}  // namespace
+
+/// Per-node state.  Only the owning thread touches anything here except
+/// `mailbox`, which is the node's multi-producer receive endpoint.
+struct Kernel::Cluster {
+  std::uint32_t node = 0;
+  std::vector<LpId> own_lps;
+
+  // LTSF scheduler: lazy min-heap over (next pending time, lp).  Entries
+  // go stale when an LP's next_time changes; clean_top() discards them.
+  std::vector<SchedEntry> sched;
+
+  Mailbox mailbox;
+  HoldingHeap holding;
+  std::vector<InFlight> drain_buf;
+  std::deque<Event> pending;  ///< routing work queue (FIFO per channel)
+  std::vector<Event> batch_scratch;
+  std::uint64_t net_seq = 0;
+
+  NodeStats stats;
+  std::uint64_t last_gvt_trigger_ns = 0;
+
+  void push_sched(SimTime t, LpId lp) {
+    if (t != kEndOfTime) {
+      sched.push_back(SchedEntry{t, lp});
+      std::push_heap(sched.begin(), sched.end(), std::greater<>{});
+    }
+  }
+
+  /// Discard stale heap entries; afterwards the top (if any) is exact.
+  void clean_top(const std::vector<LpRuntime>& rts) {
+    while (!sched.empty()) {
+      const SchedEntry top = sched.front();
+      const SimTime actual = rts[top.lp].next_time();
+      if (actual == top.time) return;
+      std::pop_heap(sched.begin(), sched.end(), std::greater<>{});
+      sched.pop_back();
+      push_sched(actual, top.lp);
+    }
+  }
+
+  SimTime sched_min(const std::vector<LpRuntime>& rts) {
+    clean_top(rts);
+    return sched.empty() ? kEndOfTime : sched.front().time;
+  }
+};
+
+namespace {
+
+/// Context used while executing one batch on a cluster; buffers sends for
+/// post-commit routing (sending mid-execution could cascade a rollback of
+/// the very LP whose execute() frame is still live).
+class ClusterContext final : public Context {
+ public:
+  ClusterContext(SimTime now, SimTime end, LpId self, LpRuntime* rt,
+                 std::deque<Event>* out, bool suppress, bool init_mode)
+      : now_(now), end_(end), self_(self), rt_(rt), out_(out),
+        suppress_(suppress), init_mode_(init_mode) {}
+
+  SimTime now() const override { return now_; }
+  SimTime end_time() const override { return end_; }
+  LpId self() const override { return self_; }
+  LpState& state() override { return rt_->state(); }
+
+  void send(LpId target, SimTime recv_time, std::uint32_t port,
+            std::uint64_t value) override {
+    PLS_CHECK_MSG(init_mode_ ? recv_time >= now_ : recv_time > now_,
+                  "LP " << self_ << " scheduled an event at " << recv_time
+                        << " not after now=" << now_);
+    PLS_CHECK_MSG(recv_time <= end_ || recv_time == kEndOfTime,
+                  "LP " << self_ << " scheduled beyond the end time");
+    if (suppress_) return;  // coast-forward replay: outputs already exist
+    Event ev;
+    ev.recv_time = recv_time;
+    ev.send_time = now_;
+    ev.target = target;
+    ev.sender = self_;
+    ev.port = port;
+    ev.value = value;
+    ev.sign = Sign::kPositive;
+    ev.id = rt_->alloc_event_id();
+    rt_->record_output(ev);
+    out_->push_back(ev);
+  }
+
+ private:
+  SimTime now_;
+  SimTime end_;
+  LpId self_;
+  LpRuntime* rt_;
+  std::deque<Event>* out_;
+  bool suppress_;
+  bool init_mode_;
+};
+
+}  // namespace
+
+Kernel::Kernel(std::vector<LogicalProcess*> lps,
+               std::vector<std::uint32_t> node_of, KernelConfig cfg)
+    : lps_(std::move(lps)), node_of_(std::move(node_of)), cfg_(cfg),
+      barrier_(cfg.num_nodes), reported_min_(cfg.num_nodes, kEndOfTime) {
+  PLS_CHECK(cfg_.num_nodes >= 1);
+  PLS_CHECK_MSG(lps_.size() == node_of_.size(),
+                "node map size must equal LP count");
+  PLS_CHECK_MSG(!lps_.empty(), "kernel needs at least one LP");
+  runtimes_.reserve(lps_.size());
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    PLS_CHECK_MSG(lps_[i] != nullptr, "null LP behaviour");
+    PLS_CHECK_MSG(node_of_[i] < cfg_.num_nodes,
+                  "LP " << i << " mapped to node " << node_of_[i]
+                        << " >= num_nodes");
+    runtimes_.emplace_back(i, lps_[i], cfg_.state_period);
+  }
+  clusters_.reserve(cfg_.num_nodes);
+  for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+    clusters_.push_back(std::make_unique<Cluster>());
+    clusters_.back()->node = n;
+  }
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    clusters_[node_of_[i]]->own_lps.push_back(i);
+  }
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::init_all_lps() {
+  // Single-threaded elaboration: run every LP's init() and deliver its
+  // initial sends directly (no network, no rollbacks possible yet).
+  std::deque<Event> out;
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    runtimes_[i].install_initial_state(lps_[i]->initial_state());
+  }
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    ClusterContext ctx(0, cfg_.end_time, i, &runtimes_[i], &out,
+                       /*suppress=*/false, /*init_mode=*/true);
+    lps_[i]->init(ctx);
+    while (!out.empty()) {
+      const Event ev = out.front();
+      out.pop_front();
+      const auto res = runtimes_[ev.target].insert(ev);
+      PLS_CHECK_MSG(!res.rolled_back, "rollback during init phase");
+    }
+  }
+  for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+    for (LpId lp : clusters_[n]->own_lps) {
+      clusters_[n]->push_sched(runtimes_[lp].next_time(), lp);
+    }
+  }
+}
+
+void Kernel::node_main(std::uint32_t node) {
+  Cluster& cl = *clusters_[node];
+  const SimTime end = cfg_.end_time;
+  const std::uint64_t latency = cfg_.network.latency_ns;
+
+  // Routes everything in cl.pending: local events are inserted (possibly
+  // rolling their LP back, which enqueues cancellation antis right here);
+  // remote events pay the network model and land in the peer's mailbox.
+  auto route_pending = [&] {
+    while (!cl.pending.empty()) {
+      const Event ev = cl.pending.front();
+      cl.pending.pop_front();
+      const std::uint32_t target_node = node_of_[ev.target];
+      if (target_node == node) {
+        auto res = runtimes_[ev.target].insert(ev);
+        if (ev.sign == Sign::kPositive) ++cl.stats.intra_node_events;
+        if (res.rolled_back) {
+          if (res.secondary) ++cl.stats.secondary_rollbacks;
+          else ++cl.stats.primary_rollbacks;
+          cl.stats.events_rolled_back += res.unprocessed_events;
+          for (Event& anti : res.antis) {
+            cl.pending.push_back(anti);
+          }
+        }
+        cl.push_sched(runtimes_[ev.target].next_time(), ev.target);
+      } else {
+        if (cfg_.network.send_overhead_ns > 0) {
+          util::busy_spin_ns(cfg_.network.send_overhead_ns);
+        }
+        if (ev.sign == Sign::kPositive) ++cl.stats.inter_node_messages;
+        else ++cl.stats.anti_messages_sent;
+        InFlight f;
+        f.deliver_at_ns = steady_now_ns() + latency;
+        f.seq = cl.net_seq++;
+        f.event = ev;
+        clusters_[target_node]->mailbox.push(std::move(f));
+      }
+    }
+  };
+
+  while (true) {
+    // --- GVT rendezvous -------------------------------------------------
+    if (gvt_requested_.load(std::memory_order_acquire)) {
+      if (gvt_round(node)) break;
+    }
+    if (node == 0) {
+      const std::uint64_t now = steady_now_ns();
+      if (now - cl.last_gvt_trigger_ns >= cfg_.gvt_interval_us * 1000) {
+        cl.last_gvt_trigger_ns = now;
+        gvt_requested_.store(true, std::memory_order_release);
+      }
+    }
+
+    // --- receive ----------------------------------------------------------
+    cl.drain_buf.clear();
+    cl.mailbox.drain(cl.drain_buf);
+    for (auto& f : cl.drain_buf) cl.holding.push(std::move(f));
+    const std::uint64_t now_ns = steady_now_ns();
+    while (!cl.holding.empty() && cl.holding.top().deliver_at_ns <= now_ns) {
+      cl.pending.push_back(cl.holding.pop().event);
+    }
+    route_pending();
+
+    // --- execute one batch (LTSF) ----------------------------------------
+    cl.clean_top(runtimes_);
+    bool executed = false;
+    if (!cl.sched.empty()) {
+      const SchedEntry top = cl.sched.front();
+      const SimTime window_limit =
+          cfg_.optimism_window == 0
+              ? kEndOfTime
+              : gvt_.load(std::memory_order_relaxed) + cfg_.optimism_window;
+      if (top.time <= window_limit) {
+        LpRuntime& rt = runtimes_[top.lp];
+        const SimTime t = rt.begin_batch(cl.batch_scratch);
+        const bool replay = rt.in_replay(t);
+        ClusterContext ctx(t, end, top.lp, &rt, &cl.pending, replay,
+                           /*init_mode=*/false);
+        rt.behavior()->execute(ctx, cl.batch_scratch);
+        if (cfg_.event_cost_ns > 0) util::busy_spin_ns(cfg_.event_cost_ns);
+        rt.commit_batch(t, cl.batch_scratch.size());
+        cl.stats.events_processed += cl.batch_scratch.size();
+        cl.push_sched(rt.next_time(), top.lp);
+        route_pending();
+        executed = true;
+      }
+    }
+    if (!executed) {
+      ++cl.stats.idle_polls;
+      // Nothing runnable: be polite to sibling hyperthreads but do not
+      // sleep — sub-microsecond reaction to incoming stragglers matters.
+      std::this_thread::yield();
+    }
+  }
+}
+
+bool Kernel::gvt_round(std::uint32_t node) {
+  Cluster& cl = *clusters_[node];
+
+  // B1: every node thread is parked here, so no sends are in progress; all
+  // in-flight messages are physically inside mailboxes or holding heaps.
+  barrier_.arrive_and_wait();
+
+  SimTime local = cl.sched_min(runtimes_);
+  local = std::min(local, cl.holding.min_recv_time());
+  local = std::min(local, cl.mailbox.min_recv_time());
+  reported_min_[node] = local;
+
+  // B2: reductions visible; node 0 computes the new GVT.
+  barrier_.arrive_and_wait();
+  if (node == 0) {
+    SimTime g = kEndOfTime;
+    for (SimTime m : reported_min_) g = std::min(g, m);
+    gvt_.store(g, std::memory_order_release);
+    ++gvt_cycles_;
+    if (g == kEndOfTime || oom_.load(std::memory_order_relaxed)) {
+      done_.store(true, std::memory_order_release);
+    }
+    gvt_requested_.store(false, std::memory_order_release);
+  }
+
+  // B3: everyone sees the new GVT / done flag; fossil-collect and go on.
+  barrier_.arrive_and_wait();
+  const SimTime g = gvt_.load(std::memory_order_acquire);
+  std::size_t live = 0;
+  for (LpId lp : cl.own_lps) {
+    cl.stats.events_committed += runtimes_[lp].fossil_collect(g).committed_events;
+    live += runtimes_[lp].live_entries();
+  }
+  cl.stats.peak_live_entries = std::max(cl.stats.peak_live_entries, live);
+  if (cfg_.max_live_entries_per_node != 0 &&
+      live > cfg_.max_live_entries_per_node) {
+    oom_.store(true, std::memory_order_relaxed);
+  }
+  return done_.load(std::memory_order_acquire);
+}
+
+RunStats Kernel::run() {
+  PLS_CHECK_MSG(!ran_, "Kernel::run() is single-use");
+  ran_ = true;
+
+  util::WallTimer timer;
+  init_all_lps();
+  epoch_origin_ns_.store(steady_now_ns(), std::memory_order_release);
+
+  if (cfg_.num_nodes == 1) {
+    node_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(cfg_.num_nodes);
+    for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+      threads.emplace_back([this, n] { node_main(n); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  RunStats out;
+  out.num_nodes = cfg_.num_nodes;
+  out.wall_seconds = timer.elapsed_seconds();
+  out.final_gvt = gvt_.load(std::memory_order_acquire);
+  out.gvt_cycles = gvt_cycles_;
+  out.out_of_memory = oom_.load(std::memory_order_acquire);
+  out.per_node.resize(cfg_.num_nodes);
+  for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+    Cluster& cl = *clusters_[n];
+    // Commit whatever the last fossil pass left behind.
+    for (LpId lp : cl.own_lps) {
+      cl.stats.events_committed += runtimes_[lp].finalize();
+    }
+    out.per_node[n] = cl.stats;
+    out.totals.merge(cl.stats);
+  }
+  out.final_states.reserve(runtimes_.size());
+  for (const auto& rt : runtimes_) out.final_states.push_back(rt.state());
+  return out;
+}
+
+}  // namespace pls::warped

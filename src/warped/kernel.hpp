@@ -1,0 +1,97 @@
+#pragma once
+// The Time Warp kernel: one thread per node ("workstation"), each running a
+// WARPED-style cluster of logical processes with an LTSF (lowest timestamp
+// first) scheduler, communicating through mailboxes with a modeled network
+// (comm.hpp), synchronized by periodic stop-the-world GVT rounds with
+// fossil collection.
+//
+// Mapping to the paper's framework (§4): LPs are grouped into clusters, one
+// per node; LPs within a cluster interact directly as classical Time Warp
+// processes; inter-cluster messages pay the network costs.  The partition
+// produced by any of the study's algorithms is exactly the LP→node map
+// given to this kernel.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "warped/barrier.hpp"
+#include "warped/comm.hpp"
+#include "warped/lp.hpp"
+#include "warped/lp_runtime.hpp"
+#include "warped/stats.hpp"
+#include "warped/types.hpp"
+
+namespace pls::warped {
+
+struct KernelConfig {
+  std::uint32_t num_nodes = 1;
+  /// Simulation horizon: LPs must not schedule events beyond this.
+  SimTime end_time = 1000;
+
+  /// CPU cost charged per executed event batch (models the granularity of
+  /// the paper's generated VHDL processes).  0 = no artificial cost.
+  std::uint64_t event_cost_ns = 0;
+
+  /// Inter-node communication model (see comm.hpp).
+  NetworkModel network;
+
+  /// Wall-clock interval between GVT rounds.
+  std::uint64_t gvt_interval_us = 2000;
+
+  /// State-saving period: snapshot after every Nth batch (1 = classic
+  /// copy-state-every-event; >1 = periodic saving with coast-forward).
+  std::uint32_t state_period = 1;
+
+  /// Optimism throttle: do not execute events beyond GVT + window
+  /// (0 = unlimited optimism, classic Time Warp).
+  SimTime optimism_window = 0;
+
+  /// Per-node live-entry limit emulating the paper's 128 MB workstations
+  /// (s15850 on 2 nodes ran out of memory).  0 = unlimited.
+  std::size_t max_live_entries_per_node = 0;
+};
+
+class Kernel {
+ public:
+  /// `lps[i]` is the behaviour of LP id i (non-owning; must outlive run()).
+  /// `node_of[i]` maps LP i to a node in [0, cfg.num_nodes).
+  Kernel(std::vector<LogicalProcess*> lps, std::vector<std::uint32_t> node_of,
+         KernelConfig cfg);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Run the simulation to completion (or OOM abort); single use.
+  RunStats run();
+
+ private:
+  struct Cluster;
+
+  void init_all_lps();
+  void node_main(std::uint32_t node);
+  bool gvt_round(std::uint32_t node);  ///< returns true when done
+
+  std::vector<LogicalProcess*> lps_;
+  std::vector<std::uint32_t> node_of_;
+  KernelConfig cfg_;
+
+  std::vector<LpRuntime> runtimes_;          // indexed by LpId
+  std::vector<std::unique_ptr<Cluster>> clusters_;  // indexed by node
+
+  // GVT coordination.
+  SpinBarrier barrier_;
+  std::atomic<bool> gvt_requested_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> oom_{false};
+  std::atomic<SimTime> gvt_{0};
+  std::vector<SimTime> reported_min_;
+  std::uint64_t gvt_cycles_ = 0;
+
+  std::atomic<std::uint64_t> epoch_origin_ns_{0};
+  bool ran_ = false;
+};
+
+}  // namespace pls::warped

@@ -1,0 +1,69 @@
+#pragma once
+// LogicalProcess: the behavioural interface of a Time Warp LP.
+//
+// Behaviour objects are *stateless*: all mutable simulation state lives in
+// the kernel-owned LpState, which the kernel snapshots and restores around
+// rollbacks.  The same behaviour objects therefore run unchanged on the
+// optimistic parallel kernel and on the sequential reference simulator —
+// mirroring how TYVIS-generated processes ran on both WARPED and a
+// sequential kernel in the paper's framework (§4).
+
+#include <span>
+
+#include "warped/types.hpp"
+
+namespace pls::warped {
+
+/// Services an LP may use while executing a batch of events.  Implemented
+/// by the parallel kernel (with output logging for cancellation) and by the
+/// sequential simulator (direct enqueue).
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// Virtual time of the batch being executed.
+  virtual SimTime now() const = 0;
+
+  /// Simulation horizon: LPs must not schedule events beyond this.
+  virtual SimTime end_time() const = 0;
+
+  /// The executing LP's id.
+  virtual LpId self() const = 0;
+
+  /// Mutable LP state (snapshotted by the kernel around this call).
+  virtual LpState& state() = 0;
+
+  /// Send `value` to `target`'s input `port`, arriving at `recv_time`
+  /// (must be strictly greater than now(): nonzero lookahead keeps the
+  /// simulation free of zero-delay cycles).
+  virtual void send(LpId target, SimTime recv_time, std::uint32_t port,
+                    std::uint64_t value) = 0;
+
+  /// Schedule a tick to self at `recv_time` (> now()).
+  void schedule_self(SimTime recv_time, std::uint64_t value = 0) {
+    send(self(), recv_time, kTickPort, value);
+  }
+};
+
+/// An event batch: all positive events for one LP sharing one receive time.
+/// Batch-at-a-time execution makes gate evaluation order-independent (each
+/// port has a single driver, so a batch holds at most one event per port),
+/// which is what guarantees parallel ≡ sequential results.
+using EventBatch = std::span<const Event>;
+
+class LogicalProcess {
+ public:
+  virtual ~LogicalProcess() = default;
+
+  /// Starting state (installed before init()).
+  virtual LpState initial_state() const { return LpState{}; }
+
+  /// Called once at virtual time 0 before any event; may schedule events.
+  virtual void init(Context& ctx) = 0;
+
+  /// Process all events at one virtual time.  Must be deterministic given
+  /// (state, batch content) — it may be re-executed after rollbacks.
+  virtual void execute(Context& ctx, EventBatch batch) = 0;
+};
+
+}  // namespace pls::warped

@@ -1,0 +1,216 @@
+#include "warped/lp_runtime.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pls::warped {
+
+LpRuntime::LpRuntime(LpId id, LogicalProcess* behavior,
+                     std::uint32_t state_period)
+    : id_(id), behavior_(behavior), state_period_(state_period) {
+  PLS_CHECK_MSG(state_period >= 1, "state saving period must be >= 1");
+}
+
+void LpRuntime::install_initial_state(const LpState& s) {
+  PLS_CHECK_MSG(!processed_any_ && snapshots_.empty(),
+                "initial state must be installed before execution");
+  initial_state_ = s;
+  state_ = s;
+}
+
+std::size_t LpRuntime::first_at_or_after(SimTime t) const {
+  // Compare on receive time only: rollback/fossil boundaries are pure
+  // times, and all full-ordering tie fields share recv_time.
+  auto it = std::lower_bound(
+      queue_.begin(), queue_.end(), t,
+      [](const Event& e, SimTime time) { return e.recv_time < time; });
+  return static_cast<std::size_t>(it - queue_.begin());
+}
+
+void LpRuntime::rollback(SimTime to_time, InsertResult& res) {
+  PLS_CHECK_MSG(to_time > 0,
+                "rollback to time 0 would cancel init-phase sends");
+  res.rolled_back = true;
+  res.rollback_time = to_time;
+
+  // 1. Restore the latest snapshot strictly before to_time.  With periodic
+  // state saving the snapshot may be several batches back; the batches in
+  // (snapshot, to_time) stay processed-pending and will be *replayed* with
+  // sends suppressed (their original outputs survive step 3).
+  auto snap = std::lower_bound(
+      snapshots_.begin(), snapshots_.end(), to_time,
+      [](const Snapshot& s, SimTime time) { return s.time < time; });
+  std::size_t new_processed = 0;
+  if (snap == snapshots_.begin()) {
+    state_ = initial_state_;
+    last_processed_ = 0;
+    processed_any_ = false;
+    new_processed = 0;
+  } else {
+    const Snapshot& base = *std::prev(snap);
+    state_ = base.state;
+    last_processed_ = base.time;
+    processed_any_ = true;
+    new_processed = first_at_or_after(base.time + 1);
+  }
+  snapshots_.erase(snap, snapshots_.end());
+  batches_since_snapshot_ = 0;
+
+  // 2. Un-process everything after the restored snapshot.
+  PLS_CHECK(new_processed <= processed_count_);
+  res.unprocessed_events += processed_count_ - new_processed;
+  events_rolled_back_ += processed_count_ - new_processed;
+  processed_count_ = new_processed;
+
+  // 3. Aggressive cancellation: anti-messages for every output sent at or
+  // after to_time.  Outputs in (snapshot, to_time) remain valid — that is
+  // exactly why their batches replay muted.
+  auto out = std::lower_bound(
+      output_queue_.begin(), output_queue_.end(), to_time,
+      [](const Event& e, SimTime time) { return e.send_time < time; });
+  for (auto it = out; it != output_queue_.end(); ++it) {
+    Event anti = *it;
+    anti.sign = Sign::kNegative;
+    res.antis.push_back(anti);
+  }
+  output_queue_.erase(out, output_queue_.end());
+
+  replay_until_ = to_time;
+}
+
+LpRuntime::InsertResult LpRuntime::insert(const Event& ev) {
+  PLS_CHECK(ev.target == id_);
+  InsertResult res;
+
+  if (ev.sign == Sign::kNegative) {
+    // Annihilate the positive twin.
+    const std::size_t from = first_at_or_after(ev.recv_time);
+    for (std::size_t i = from; i < queue_.size(); ++i) {
+      if (queue_[i].recv_time != ev.recv_time) break;
+      if (queue_[i].sign == Sign::kPositive && queue_[i].matches(ev)) {
+        if (i < processed_count_ || ev.recv_time < replay_until_) {
+          // The twin's effects are visible (executed, or baked into
+          // still-valid outputs of the replay window): secondary rollback
+          // to its time, then annihilate from the pending suffix.
+          res.secondary = true;
+          rollback(ev.recv_time, res);
+        }
+        const std::size_t j = first_at_or_after(ev.recv_time);
+        for (std::size_t p = j; p < queue_.size(); ++p) {
+          if (queue_[p].recv_time != ev.recv_time) break;
+          if (queue_[p].matches(ev)) {
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(p));
+            return res;
+          }
+        }
+        PLS_CHECK_MSG(false, "positive twin vanished during annihilation");
+      }
+    }
+    // Twin not here yet (cannot happen over FIFO channels; tolerated).
+    pending_antis_.push_back(ev);
+    return res;
+  }
+
+  // Positive event.  A waiting anti annihilates it on arrival.
+  for (std::size_t i = 0; i < pending_antis_.size(); ++i) {
+    if (pending_antis_[i].matches(ev)) {
+      pending_antis_.erase(pending_antis_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      return res;
+    }
+  }
+
+  // Straggler? Any event at or before the last processed batch — or below
+  // the replay boundary, where outputs already reflect a history without
+  // this event — forces a rollback.  Equal time counts: that batch is
+  // complete and must re-execute including the newcomer.
+  if ((processed_any_ && ev.recv_time <= last_processed_) ||
+      ev.recv_time < replay_until_) {
+    rollback(ev.recv_time, res);
+  }
+
+  const auto pos = std::lower_bound(queue_.begin(), queue_.end(), ev);
+  PLS_CHECK_MSG(
+      static_cast<std::size_t>(pos - queue_.begin()) >= processed_count_,
+      "event insertion inside the processed prefix after rollback");
+  queue_.insert(pos, ev);
+  return res;
+}
+
+SimTime LpRuntime::begin_batch(std::vector<Event>& out) const {
+  PLS_CHECK_MSG(has_unprocessed(), "begin_batch with empty pending queue");
+  const SimTime t = queue_[processed_count_].recv_time;
+  out.clear();
+  for (std::size_t i = processed_count_;
+       i < queue_.size() && queue_[i].recv_time == t; ++i) {
+    out.push_back(queue_[i]);
+  }
+  return t;
+}
+
+void LpRuntime::commit_batch(SimTime batch_time, std::size_t batch_size) {
+  PLS_CHECK(batch_size > 0);
+  PLS_CHECK(processed_count_ + batch_size <= queue_.size());
+  PLS_CHECK_MSG(!processed_any_ || batch_time > last_processed_,
+                "batches must commit in increasing time order");
+  processed_count_ += batch_size;
+  last_processed_ = batch_time;
+  processed_any_ = true;
+  events_processed_ += batch_size;
+  if (++batches_since_snapshot_ >= state_period_) {
+    snapshots_.push_back(Snapshot{batch_time, state_});
+    batches_since_snapshot_ = 0;
+  }
+}
+
+void LpRuntime::record_output(const Event& ev) {
+  PLS_CHECK(ev.sign == Sign::kPositive);
+  PLS_CHECK_MSG(output_queue_.empty() ||
+                    output_queue_.back().send_time <= ev.send_time,
+                "output queue must grow in send-time order");
+  output_queue_.push_back(ev);
+}
+
+LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
+  FossilResult res;
+  if (gvt == 0) return res;
+
+  // The newest snapshot strictly below GVT is the restore base for every
+  // reachable rollback (targets are always >= GVT).  Events at or below
+  // the base's time can never be replayed again: commit and discard them.
+  // Without any snapshot below GVT the base is the initial state and
+  // nothing can be discarded yet.
+  auto snap = std::lower_bound(
+      snapshots_.begin(), snapshots_.end(), gvt,
+      [](const Snapshot& s, SimTime time) { return s.time < time; });
+  if (snap != snapshots_.begin()) {
+    const Snapshot& base = *std::prev(snap);
+    const std::size_t cut = first_at_or_after(base.time + 1);
+    PLS_CHECK_MSG(cut <= processed_count_,
+                  "fossil cut crosses unprocessed events (GVT too high)");
+    res.committed_events = cut;
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(cut));
+    processed_count_ -= cut;
+    snapshots_.erase(snapshots_.begin(), std::prev(snap));
+  }
+
+  // Outputs below GVT can never be cancelled (cancellation boundaries are
+  // >= GVT).
+  auto out = std::lower_bound(
+      output_queue_.begin(), output_queue_.end(), gvt,
+      [](const Event& e, SimTime time) { return e.send_time < time; });
+  output_queue_.erase(output_queue_.begin(), out);
+  return res;
+}
+
+std::uint64_t LpRuntime::finalize() {
+  const auto committed = static_cast<std::uint64_t>(processed_count_);
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(processed_count_));
+  processed_count_ = 0;
+  return committed;
+}
+
+}  // namespace pls::warped

@@ -1,0 +1,177 @@
+#pragma once
+// LpRuntime: per-LP Time Warp bookkeeping — input queue, output queue,
+// state snapshots, rollback, annihilation, coast-forward replay and fossil
+// collection.
+//
+// This class is deliberately free of threads and I/O: the cluster scheduler
+// calls it from exactly one thread, and the whole rollback protocol can be
+// unit-tested deterministically (tests/warped_lp_runtime_test.cpp).
+//
+// Queue discipline (classic Jefferson Time Warp, WARPED flavour):
+//  * input queue = one sorted vector; a prefix of `processed_count` events
+//    has been executed, the suffix is pending.
+//  * copy state saving after every `state_period`-th executed batch (all
+//    events sharing one receive time execute as one batch); period 1 is
+//    the classic copy-state-every-event discipline.
+//  * a positive event with receive time <= the LP's last processed time
+//    (or below the current replay boundary) is a *straggler*: roll back to
+//    its time (primary rollback).
+//  * a negative event annihilates its positive twin; if the twin's effects
+//    are already reflected anywhere (processed, or below the replay
+//    boundary) this forces a rollback first (secondary rollback).
+//  * rollback = restore the latest snapshot strictly before the rollback
+//    time T, un-process everything after the snapshot, emit anti-messages
+//    for every output sent at or after T (aggressive cancellation), and
+//    mark [snapshot, T) for *coast-forward replay*: those batches
+//    re-execute with sends suppressed, because their original outputs were
+//    not cancelled and remain valid.
+
+#include <cstdint>
+#include <vector>
+
+#include "warped/lp.hpp"
+#include "warped/types.hpp"
+
+namespace pls::warped {
+
+class LpRuntime {
+ public:
+  LpRuntime() = default;
+  LpRuntime(LpId id, LogicalProcess* behavior, std::uint32_t state_period = 1);
+
+  LpId id() const noexcept { return id_; }
+  LogicalProcess* behavior() const noexcept { return behavior_; }
+
+  // ---- insertion ---------------------------------------------------------
+
+  struct InsertResult {
+    bool rolled_back = false;
+    bool secondary = false;       ///< rollback caused by an anti-message
+    SimTime rollback_time = 0;    ///< restore boundary (straggler time)
+    std::uint64_t unprocessed_events = 0;  ///< events un-processed
+    /// Anti-messages for cancelled outputs; the caller must route these.
+    std::vector<Event> antis;
+  };
+
+  /// Insert a positive or negative event.  May trigger a rollback whose
+  /// side effects (anti-messages to send) are returned to the caller.
+  InsertResult insert(const Event& ev);
+
+  // ---- scheduling --------------------------------------------------------
+
+  bool has_unprocessed() const noexcept {
+    return processed_count_ < queue_.size();
+  }
+  /// Receive time of the next pending batch (kEndOfTime if none).
+  SimTime next_time() const noexcept {
+    return has_unprocessed() ? queue_[processed_count_].recv_time
+                             : kEndOfTime;
+  }
+  /// Virtual time of the last executed batch (0 before any execution).
+  SimTime last_processed() const noexcept { return last_processed_; }
+
+  /// True if the batch at `batch_time` is a coast-forward replay: execute
+  /// it to rebuild state but suppress (do not send, do not record) its
+  /// outputs — they were never cancelled.
+  bool in_replay(SimTime batch_time) const noexcept {
+    return batch_time < replay_until_;
+  }
+
+  /// Copy out the next batch (all pending events at next_time()).  The
+  /// caller executes the behaviour against state() and then calls
+  /// commit_batch().  Returns the batch time.
+  SimTime begin_batch(std::vector<Event>& out) const;
+
+  /// Advance past the batch begin_batch() returned; snapshot the state per
+  /// the state-saving period.
+  void commit_batch(SimTime batch_time, std::size_t batch_size);
+
+  // ---- state -------------------------------------------------------------
+
+  LpState& state() noexcept { return state_; }
+  const LpState& state() const noexcept { return state_; }
+  void install_initial_state(const LpState& s);
+
+  /// Record a positive output event (called by the kernel's send path
+  /// before routing, so it can be cancelled later).
+  void record_output(const Event& ev);
+
+  // ---- GVT / fossil collection -------------------------------------------
+
+  /// Smallest receive time this LP can still contribute: its next pending
+  /// event (anti-messages in flight are accounted by the cluster).
+  SimTime local_min() const noexcept { return next_time(); }
+
+  struct FossilResult {
+    std::uint64_t committed_events = 0;
+  };
+  /// Irrevocably commit everything at or below the newest snapshot that
+  /// precedes `gvt` (events older than that snapshot can never be replayed
+  /// or rolled back again).
+  FossilResult fossil_collect(SimTime gvt);
+
+  /// End-of-run commit: counts and discards every processed event still in
+  /// the queue (with periodic state saving a few trailing batches survive
+  /// fossil_collect(kEndOfTime)).  Call only when the simulation is over.
+  std::uint64_t finalize();
+
+  /// Monotonic event-id source for this LP's sends.  Deliberately *not*
+  /// rolled back: re-sends after a rollback get fresh ids, so a stale
+  /// anti-message can never annihilate a regenerated positive.
+  std::uint64_t alloc_event_id() noexcept { return next_event_id_++; }
+
+  // ---- accounting ---------------------------------------------------------
+
+  std::uint64_t events_processed() const noexcept { return events_processed_; }
+  std::uint64_t events_rolled_back() const noexcept {
+    return events_rolled_back_;
+  }
+  /// Live memory footprint in queue entries (input + output + snapshots);
+  /// used to emulate the paper's out-of-memory behaviour.
+  std::size_t live_entries() const noexcept {
+    return queue_.size() + output_queue_.size() + snapshots_.size();
+  }
+
+  /// Test hooks: inspect internals.
+  std::size_t processed_count() const noexcept { return processed_count_; }
+  const std::vector<Event>& input_queue() const noexcept { return queue_; }
+  const std::vector<Event>& output_queue() const noexcept {
+    return output_queue_;
+  }
+  const std::vector<Snapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+
+ private:
+  void rollback(SimTime to_time, InsertResult& res);
+
+  /// Index of the first queue event with recv_time >= t.
+  std::size_t first_at_or_after(SimTime t) const;
+
+  LpId id_ = kInvalidLp;
+  LogicalProcess* behavior_ = nullptr;
+  std::uint32_t state_period_ = 1;
+  std::uint32_t batches_since_snapshot_ = 0;
+
+  std::vector<Event> queue_;       ///< sorted; [0, processed_count_) done
+  std::size_t processed_count_ = 0;
+  SimTime last_processed_ = 0;
+  bool processed_any_ = false;
+  SimTime replay_until_ = 0;       ///< batches below this re-execute muted
+
+  LpState state_;
+  LpState initial_state_;
+  std::vector<Snapshot> snapshots_;  ///< ascending in time
+
+  std::vector<Event> output_queue_;  ///< ascending in send_time
+
+  /// Anti-messages that arrived before their positive twin (cannot happen
+  /// with FIFO channels, kept as defence-in-depth).
+  std::vector<Event> pending_antis_;
+
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t events_rolled_back_ = 0;
+  std::uint64_t next_event_id_ = 1;
+};
+
+}  // namespace pls::warped

@@ -1,0 +1,36 @@
+#include "warped/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pls::warped {
+
+void NodeStats::merge(const NodeStats& o) noexcept {
+  events_processed += o.events_processed;
+  events_committed += o.events_committed;
+  events_rolled_back += o.events_rolled_back;
+  primary_rollbacks += o.primary_rollbacks;
+  secondary_rollbacks += o.secondary_rollbacks;
+  inter_node_messages += o.inter_node_messages;
+  intra_node_events += o.intra_node_events;
+  anti_messages_sent += o.anti_messages_sent;
+  idle_polls += o.idle_polls;
+  peak_live_entries = std::max(peak_live_entries, o.peak_live_entries);
+}
+
+std::ostream& operator<<(std::ostream& os, const RunStats& s) {
+  os << "nodes=" << s.num_nodes << " wall=" << s.wall_seconds << "s"
+     << " committed=" << s.totals.events_committed
+     << " processed=" << s.totals.events_processed
+     << " rolled_back=" << s.totals.events_rolled_back
+     << " rollbacks=" << s.totals.total_rollbacks() << " (p="
+     << s.totals.primary_rollbacks << ", s=" << s.totals.secondary_rollbacks
+     << ")"
+     << " app_msgs=" << s.totals.inter_node_messages
+     << " antis=" << s.totals.anti_messages_sent
+     << " gvt_cycles=" << s.gvt_cycles;
+  if (s.out_of_memory) os << " OOM";
+  return os;
+}
+
+}  // namespace pls::warped

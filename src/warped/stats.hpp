@@ -1,0 +1,51 @@
+#pragma once
+// Run statistics: exactly the quantities the paper's evaluation reports —
+// execution time (Table 2, Figure 4), application messages (Figure 5) and
+// rollbacks (Figure 6) — plus the supporting Time Warp internals.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "warped/types.hpp"
+
+namespace pls::warped {
+
+struct NodeStats {
+  std::uint64_t events_processed = 0;   ///< executions incl. repeated ones
+  std::uint64_t events_committed = 0;   ///< fossil-collected below GVT
+  std::uint64_t events_rolled_back = 0;
+
+  std::uint64_t primary_rollbacks = 0;    ///< straggler-induced
+  std::uint64_t secondary_rollbacks = 0;  ///< anti-message-induced
+  std::uint64_t total_rollbacks() const noexcept {
+    return primary_rollbacks + secondary_rollbacks;
+  }
+
+  std::uint64_t inter_node_messages = 0;  ///< positive msgs to other nodes
+  std::uint64_t intra_node_events = 0;    ///< direct local deliveries
+  std::uint64_t anti_messages_sent = 0;
+
+  std::uint64_t idle_polls = 0;  ///< main-loop spins with nothing to do
+  std::size_t peak_live_entries = 0;  ///< memory high-water mark
+
+  void merge(const NodeStats& o) noexcept;
+};
+
+struct RunStats {
+  std::uint32_t num_nodes = 1;
+  double wall_seconds = 0.0;        ///< the paper's "Simulation Time"
+  SimTime final_gvt = 0;
+  std::uint64_t gvt_cycles = 0;
+  bool out_of_memory = false;       ///< aborted by the live-event limit
+
+  NodeStats totals;                 ///< aggregated over nodes
+  std::vector<NodeStats> per_node;
+
+  /// Final committed state of every LP, for sequential-equivalence checks.
+  std::vector<LpState> final_states;
+};
+
+std::ostream& operator<<(std::ostream& os, const RunStats& s);
+
+}  // namespace pls::warped

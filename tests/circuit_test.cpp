@@ -1,0 +1,199 @@
+// Unit tests for the Circuit netlist model: construction, arity and cycle
+// validation, CSR fanin/fanout indices, lookup, output marking.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "util/check.hpp"
+
+namespace pls::circuit {
+namespace {
+
+Circuit tiny_and_or() {
+  // a, b, c -> g1 = AND(a,b); g2 = OR(g1,c); output g2
+  Circuit c("tiny");
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  const GateId x = c.add_input("c");
+  const GateId g1 = c.add_gate("g1", GateType::kAnd, {a, b});
+  const GateId g2 = c.add_gate("g2", GateType::kOr, {g1, x});
+  c.mark_output(g2);
+  c.freeze();
+  return c;
+}
+
+TEST(Circuit, BasicCounts) {
+  const Circuit c = tiny_and_or();
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.primary_inputs().size(), 3u);
+  EXPECT_EQ(c.primary_outputs().size(), 1u);
+  EXPECT_EQ(c.flip_flops().size(), 0u);
+  EXPECT_EQ(c.num_combinational(), 2u);
+  EXPECT_EQ(c.num_edges(), 4u);
+}
+
+TEST(Circuit, FaninsAndFanouts) {
+  const Circuit c = tiny_and_or();
+  const GateId g1 = c.find("g1");
+  const GateId g2 = c.find("g2");
+  const GateId a = c.find("a");
+  ASSERT_NE(g1, kInvalidGate);
+  EXPECT_EQ(c.fanins(g1).size(), 2u);
+  EXPECT_EQ(c.fanins(g1)[0], a);
+  ASSERT_EQ(c.fanouts(a).size(), 1u);
+  EXPECT_EQ(c.fanouts(a)[0], g1);
+  ASSERT_EQ(c.fanouts(g1).size(), 1u);
+  EXPECT_EQ(c.fanouts(g1)[0], g2);
+  EXPECT_TRUE(c.fanouts(g2).empty());
+}
+
+TEST(Circuit, FindReturnsInvalidForUnknown) {
+  const Circuit c = tiny_and_or();
+  EXPECT_EQ(c.find("nope"), kInvalidGate);
+}
+
+TEST(Circuit, DuplicateNameRejected) {
+  Circuit c;
+  c.add_input("x");
+  EXPECT_THROW(c.add_input("x"), util::CheckError);
+}
+
+TEST(Circuit, InputCannotHaveFanin) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId b = c.add_input("b");
+  EXPECT_THROW(c.connect(a, b), util::CheckError);
+}
+
+TEST(Circuit, ArityValidationAtFreeze) {
+  {
+    Circuit c;
+    const GateId a = c.add_input("a");
+    c.add_gate("g", GateType::kAnd, {a});  // AND needs >= 2
+    EXPECT_THROW(c.freeze(), util::CheckError);
+  }
+  {
+    Circuit c;
+    const GateId a = c.add_input("a");
+    const GateId b = c.add_input("b");
+    c.add_gate("g", GateType::kNot, {a, b});  // NOT needs exactly 1
+    EXPECT_THROW(c.freeze(), util::CheckError);
+  }
+  {
+    Circuit c;
+    c.add_input("a");
+    c.add_gate("g", GateType::kDff, {});  // DFF needs its D input
+    EXPECT_THROW(c.freeze(), util::CheckError);
+  }
+}
+
+TEST(Circuit, CombinationalCycleRejected) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId g1 = c.add_gate("g1", GateType::kAnd);
+  const GateId g2 = c.add_gate("g2", GateType::kOr);
+  c.connect(g1, a);
+  c.connect(g1, g2);
+  c.connect(g2, g1);
+  c.connect(g2, a);
+  EXPECT_THROW(c.freeze(), util::CheckError);
+}
+
+TEST(Circuit, CycleThroughDffIsLegal) {
+  // Classic sequential loop: g = AND(a, ff); ff = DFF(g).
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId ff = c.add_gate("ff", GateType::kDff);
+  const GateId g = c.add_gate("g", GateType::kAnd, {a, ff});
+  c.connect(ff, g);
+  c.mark_output(g);
+  EXPECT_NO_THROW(c.freeze());
+  EXPECT_EQ(c.flip_flops().size(), 1u);
+}
+
+TEST(Circuit, SelfLoopThroughDffIsLegal) {
+  Circuit c;
+  c.add_input("a");
+  const GateId ff = c.add_gate("ff", GateType::kDff);
+  c.connect(ff, ff);  // toggle-style self feedback
+  EXPECT_NO_THROW(c.freeze());
+}
+
+TEST(Circuit, EmptyCircuitRejected) {
+  Circuit c;
+  EXPECT_THROW(c.freeze(), util::CheckError);
+}
+
+TEST(Circuit, MutationAfterFreezeRejected) {
+  Circuit c = tiny_and_or();
+  EXPECT_THROW(c.add_input("new"), util::CheckError);
+  EXPECT_THROW(c.connect(0, 1), util::CheckError);
+}
+
+TEST(Circuit, DoubleFreezeRejected) {
+  Circuit c = tiny_and_or();
+  EXPECT_THROW(c.freeze(), util::CheckError);
+}
+
+TEST(Circuit, MarkOutputIsIdempotent) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId g = c.add_gate("g", GateType::kBuf, {a});
+  c.mark_output(g);
+  c.mark_output(g);
+  c.mark_output("g");
+  c.freeze();
+  EXPECT_EQ(c.primary_outputs().size(), 1u);
+  EXPECT_TRUE(c.is_output(g));
+  EXPECT_FALSE(c.is_output(a));
+}
+
+TEST(Circuit, MarkOutputUnknownNameThrows) {
+  Circuit c;
+  c.add_input("a");
+  EXPECT_THROW(c.mark_output("ghost"), util::CheckError);
+}
+
+TEST(Circuit, FanoutOfMultiSinkSignal) {
+  Circuit c;
+  const GateId a = c.add_input("a");
+  c.add_gate("g1", GateType::kBuf, {a});
+  c.add_gate("g2", GateType::kNot, {a});
+  c.add_gate("g3", GateType::kBuf, {a});
+  c.freeze();
+  EXPECT_EQ(c.fanouts(a).size(), 3u);
+}
+
+TEST(Circuit, DuplicateFaninCountsAsTwoEdges) {
+  // XOR(a, a) is degenerate but legal in .bench files.
+  Circuit c;
+  const GateId a = c.add_input("a");
+  const GateId g = c.add_gate("g", GateType::kXor, {a, a});
+  c.freeze();
+  EXPECT_EQ(c.fanins(g).size(), 2u);
+  EXPECT_EQ(c.fanouts(a).size(), 2u);
+  EXPECT_EQ(c.num_edges(), 2u);
+}
+
+TEST(Circuit, NamesPreserved) {
+  const Circuit c = tiny_and_or();
+  EXPECT_EQ(c.gate_name(c.find("g1")), "g1");
+  EXPECT_EQ(c.name(), "tiny");
+  EXPECT_EQ(to_string(c.type(c.find("g1"))), "AND");
+}
+
+TEST(GateTypeTraits, ArityBounds) {
+  EXPECT_EQ(min_arity(GateType::kInput), 0);
+  EXPECT_EQ(max_arity(GateType::kInput), 0);
+  EXPECT_EQ(min_arity(GateType::kNot), 1);
+  EXPECT_EQ(max_arity(GateType::kNot), 1);
+  EXPECT_EQ(min_arity(GateType::kDff), 1);
+  EXPECT_EQ(min_arity(GateType::kNand), 2);
+  EXPECT_GE(max_arity(GateType::kNand), 4);
+  EXPECT_TRUE(is_sequential_source(GateType::kInput));
+  EXPECT_TRUE(is_sequential_source(GateType::kDff));
+  EXPECT_FALSE(is_sequential_source(GateType::kAnd));
+}
+
+}  // namespace
+}  // namespace pls::circuit

@@ -1,0 +1,207 @@
+// Tests for the coarsening phase: the paper's structural invariants
+// (disjoint cover, weight conservation, primary-input rule), stopping
+// conditions, weight caps, both schemes, and activity weighting.
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "partition/coarsen.hpp"
+#include "util/check.hpp"
+
+namespace pls::partition {
+namespace {
+
+circuit::Circuit test_circuit(std::uint64_t seed = 21) {
+  circuit::GeneratorSpec spec;
+  spec.num_comb_gates = 800;
+  spec.num_inputs = 24;
+  spec.num_outputs = 8;
+  spec.num_dffs = 50;
+  spec.seed = seed;
+  return circuit::generate(spec);
+}
+
+TEST(Coarsen, ProducesShrinkingHierarchy) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.threshold = 64;
+  const Hierarchy h = coarsen(c, opt);
+  ASSERT_GE(h.num_levels(), 2u);
+  std::size_t prev = h.base.num_vertices();
+  for (const auto& lvl : h.levels) {
+    EXPECT_LT(lvl.graph.num_vertices(), prev);
+    prev = lvl.graph.num_vertices();
+  }
+  EXPECT_LE(h.coarsest().num_vertices(), 200u);  // well below the base
+}
+
+TEST(Coarsen, InvariantsHold) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.threshold = 64;
+  EXPECT_NO_THROW(check_hierarchy_invariants(coarsen(c, opt)));
+}
+
+TEST(Coarsen, InvariantsHoldWithWeightCap) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.threshold = 32;
+  opt.max_globule_weight = 40;
+  const Hierarchy h = coarsen(c, opt);
+  EXPECT_NO_THROW(check_hierarchy_invariants(h));
+  for (graph::VertexId v = 0; v < h.coarsest().num_vertices(); ++v) {
+    EXPECT_LE(h.coarsest().vertex_weight(v), 40u);
+  }
+}
+
+TEST(Coarsen, TotalWeightConservedToCoarsest) {
+  const auto c = test_circuit();
+  const Hierarchy h = coarsen(c, CoarsenOptions{});
+  EXPECT_EQ(h.coarsest().total_vertex_weight(), c.size());
+}
+
+TEST(Coarsen, NeverMergesTwoPrimaryInputs) {
+  // check_hierarchy_invariants already asserts this; run it across seeds.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const auto c = test_circuit(seed);
+    CoarsenOptions opt;
+    opt.seed = seed;
+    EXPECT_NO_THROW(check_hierarchy_invariants(coarsen(c, opt)));
+  }
+}
+
+TEST(Coarsen, ThresholdStopsCoarsening) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.threshold = 300;
+  const Hierarchy h = coarsen(c, opt);
+  // Coarsening stops at the first level at or below the threshold; with
+  // halving-ish rounds the coarsest level is within a factor of the
+  // threshold, never (say) 10x smaller.
+  EXPECT_LE(h.coarsest().num_vertices(), 300u);
+  EXPECT_GE(h.coarsest().num_vertices(), 30u);
+}
+
+TEST(Coarsen, MaxLevelsRespected) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.threshold = 1;  // would coarsen forever
+  opt.max_levels = 3;
+  EXPECT_LE(coarsen(c, opt).num_levels(), 3u);
+}
+
+TEST(Coarsen, AllInputsCircuitCannotCoarsen) {
+  // A circuit of only primary inputs (plus one gate to satisfy freeze):
+  // after the gate is absorbed nothing further can combine.
+  circuit::Circuit c;
+  std::vector<circuit::GateId> pis;
+  for (int i = 0; i < 8; ++i) {
+    pis.push_back(c.add_input("pi" + std::to_string(i)));
+  }
+  c.add_gate("g", circuit::GateType::kAnd,
+             {pis[0], pis[1], pis[2], pis[3]});
+  c.freeze();
+  CoarsenOptions opt;
+  opt.threshold = 2;
+  const Hierarchy h = coarsen(c, opt);
+  // One level may absorb the gate into an input globule, after which all
+  // globules are input globules and coarsening halts above the threshold.
+  EXPECT_GE(h.coarsest().num_vertices(), 8u);
+  check_hierarchy_invariants(h);
+}
+
+TEST(Coarsen, HeavyEdgeSchemeWorks) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.scheme = CoarsenScheme::kHeavyEdge;
+  opt.threshold = 64;
+  const Hierarchy h = coarsen(c, opt);
+  EXPECT_GE(h.num_levels(), 2u);
+  EXPECT_NO_THROW(check_hierarchy_invariants(h));
+  EXPECT_EQ(h.coarsest().total_vertex_weight(), c.size());
+}
+
+TEST(Coarsen, DeterministicForEqualSeeds) {
+  const auto c = test_circuit();
+  CoarsenOptions opt;
+  opt.seed = 77;
+  const Hierarchy a = coarsen(c, opt);
+  const Hierarchy b = coarsen(c, opt);
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (std::size_t i = 0; i < a.num_levels(); ++i) {
+    EXPECT_EQ(a.levels[i].parent_map, b.levels[i].parent_map);
+  }
+}
+
+TEST(Coarsen, SeedsExploreDifferentCoarsenings) {
+  const auto c = test_circuit();
+  CoarsenOptions a_opt;
+  a_opt.seed = 1;
+  CoarsenOptions b_opt;
+  b_opt.seed = 2;
+  const Hierarchy a = coarsen(c, a_opt);
+  const Hierarchy b = coarsen(c, b_opt);
+  ASSERT_GE(a.num_levels(), 1u);
+  ASSERT_GE(b.num_levels(), 1u);
+  EXPECT_NE(a.levels[0].parent_map, b.levels[0].parent_map);
+}
+
+TEST(Coarsen, ActivityWeightingChangesEdgeWeights) {
+  const auto c = test_circuit();
+  std::vector<double> activity(c.size(), 0.0);
+  for (std::size_t i = 0; i < activity.size(); ++i) {
+    activity[i] = (i % 7 == 0) ? 10.0 : 0.1;
+  }
+  CoarsenOptions plain;
+  CoarsenOptions weighted;
+  weighted.activity = &activity;
+  const Hierarchy hp = coarsen(c, plain);
+  const Hierarchy hw = coarsen(c, weighted);
+  // Total symmetrized edge weight of G0 must be strictly larger with
+  // activity scaling (weights are 1 + round(min(15, act))).
+  std::uint64_t wp = 0, ww = 0;
+  for (graph::VertexId v = 0; v < hp.base.num_vertices(); ++v) {
+    wp += hp.base.weighted_degree(v);
+  }
+  for (graph::VertexId v = 0; v < hw.base.num_vertices(); ++v) {
+    ww += hw.base.weighted_degree(v);
+  }
+  EXPECT_GT(ww, wp);
+}
+
+TEST(Coarsen, CoarseEdgesAreUnionsOfMemberEdges) {
+  // If two globules are adjacent at level i+1, some pair of their members
+  // must be adjacent at level i.
+  const auto c = test_circuit();
+  const Hierarchy h = coarsen(c, CoarsenOptions{});
+  ASSERT_GE(h.num_levels(), 1u);
+  const auto& lvl = h.levels[0];
+  // Build member lists.
+  std::vector<std::vector<graph::VertexId>> members(
+      lvl.graph.num_vertices());
+  for (graph::VertexId v = 0; v < h.base.num_vertices(); ++v) {
+    members[lvl.parent_map[v]].push_back(v);
+  }
+  for (graph::VertexId g = 0;
+       g < std::min<std::size_t>(lvl.graph.num_vertices(), 50); ++g) {
+    for (const auto& e : lvl.graph.neighbors(g)) {
+      bool witnessed = false;
+      for (graph::VertexId m : members[g]) {
+        for (const auto& me : h.base.neighbors(m)) {
+          witnessed |= (lvl.parent_map[me.to] == e.to);
+        }
+      }
+      EXPECT_TRUE(witnessed)
+          << "coarse edge " << g << "-" << e.to << " has no fine witness";
+    }
+  }
+}
+
+TEST(Coarsen, RequiresFrozenCircuit) {
+  circuit::Circuit c;
+  c.add_input("a");
+  EXPECT_THROW(coarsen(c, CoarsenOptions{}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace pls::partition

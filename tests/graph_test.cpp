@@ -1,0 +1,96 @@
+// Tests for the symmetrized WeightedGraph used by the partitioning layer.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "circuit/circuit.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/check.hpp"
+
+namespace pls::graph {
+namespace {
+
+using EdgeTuple = std::tuple<VertexId, VertexId, std::uint32_t>;
+
+TEST(WeightedGraph, MergesParallelEdges) {
+  std::vector<EdgeTuple> edges{{0, 1, 2}, {1, 0, 3}, {1, 2, 1}};
+  WeightedGraph g({1, 1, 1}, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);  // {0,1} merged, {1,2}
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_EQ(g.neighbors(0)[0].weight, 5u);
+  EXPECT_EQ(g.weighted_degree(1), 6u);
+}
+
+TEST(WeightedGraph, DropsSelfLoops) {
+  std::vector<EdgeTuple> edges{{0, 0, 7}, {0, 1, 1}};
+  WeightedGraph g({1, 1}, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weighted_degree(0), 1u);
+}
+
+TEST(WeightedGraph, VertexWeightsAndTotal) {
+  WeightedGraph g({3, 4, 5}, std::vector<EdgeTuple>{});
+  EXPECT_EQ(g.vertex_weight(1), 4u);
+  EXPECT_EQ(g.total_vertex_weight(), 12u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(WeightedGraph, AdjacencyIsSymmetric) {
+  std::vector<EdgeTuple> edges{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+  WeightedGraph g({1, 1, 1}, edges);
+  for (VertexId v = 0; v < 3; ++v) {
+    for (const Edge& e : g.neighbors(v)) {
+      bool back = false;
+      for (const Edge& r : g.neighbors(e.to)) {
+        back |= (r.to == v && r.weight == e.weight);
+      }
+      EXPECT_TRUE(back) << "edge " << v << "->" << e.to << " not mirrored";
+    }
+  }
+}
+
+TEST(WeightedGraph, OutOfRangeEdgeThrows) {
+  std::vector<EdgeTuple> edges{{0, 9, 1}};
+  EXPECT_THROW(WeightedGraph({1, 1}, edges), pls::util::CheckError);
+}
+
+TEST(WeightedGraph, FromCircuitCountsDirectedPairs) {
+  // a feeds g twice (XOR(a,a)): symmetrized weight 2.
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  const auto b = c.add_input("b");
+  const auto g = c.add_gate("g", circuit::GateType::kXor, {a, a});
+  c.add_gate("h", circuit::GateType::kAnd, {g, b});
+  c.freeze();
+  const WeightedGraph wg = WeightedGraph::from_circuit(c);
+  EXPECT_EQ(wg.num_vertices(), 4u);
+  EXPECT_EQ(wg.total_vertex_weight(), 4u);
+  bool found = false;
+  for (const Edge& e : wg.neighbors(a)) {
+    if (e.to == g) {
+      EXPECT_EQ(e.weight, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WeightedGraph, FromCircuitRequiresFrozen) {
+  circuit::Circuit c;
+  c.add_input("a");
+  EXPECT_THROW(WeightedGraph::from_circuit(c), pls::util::CheckError);
+}
+
+TEST(WeightedGraph, EmptyGraphIsUsable) {
+  WeightedGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.total_vertex_weight(), 0u);
+}
+
+}  // namespace
+}  // namespace pls::graph

@@ -1,0 +1,161 @@
+// End-to-end tests of the multilevel partitioner: the paper's three-phase
+// pipeline, projection property, quality vs baselines, options and traces.
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "partition/baselines.hpp"
+#include "partition/metrics.hpp"
+#include "partition/multilevel_partitioner.hpp"
+
+namespace pls::partition {
+namespace {
+
+circuit::Circuit test_circuit(std::size_t gates = 1200,
+                              std::uint64_t seed = 31) {
+  circuit::GeneratorSpec spec;
+  spec.num_comb_gates = gates;
+  spec.num_inputs = 32;
+  spec.num_outputs = 16;
+  spec.num_dffs = gates / 16;
+  spec.seed = seed;
+  return circuit::generate(spec);
+}
+
+TEST(Multilevel, ValidBalancedPartition) {
+  const auto c = test_circuit();
+  const Partition p = MultilevelPartitioner().run(c, 8, 1);
+  p.validate(c.size());
+  EXPECT_LE(imbalance(c, p), 1.12);  // within the default 10% tolerance
+  const auto loads = p.loads();
+  for (auto l : loads) EXPECT_GT(l, 0u);
+}
+
+TEST(Multilevel, BeatsRandomOnEdgeCut) {
+  const auto c = test_circuit();
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    const auto ml = edge_cut(c, MultilevelPartitioner().run(c, k, 1));
+    const auto rnd = edge_cut(c, RandomPartitioner().run(c, k, 1));
+    EXPECT_LT(ml, rnd / 2) << "k=" << k;
+  }
+}
+
+TEST(Multilevel, BeatsTopologicalOnEdgeCut) {
+  const auto c = test_circuit();
+  EXPECT_LT(edge_cut(c, MultilevelPartitioner().run(c, 8, 1)),
+            edge_cut(c, TopologicalPartitioner().run(c, 8, 1)));
+}
+
+TEST(Multilevel, DeterministicBySeed) {
+  const auto c = test_circuit();
+  EXPECT_EQ(MultilevelPartitioner().run(c, 4, 9).assign,
+            MultilevelPartitioner().run(c, 4, 9).assign);
+  EXPECT_NE(MultilevelPartitioner().run(c, 4, 9).assign,
+            MultilevelPartitioner().run(c, 4, 10).assign);
+}
+
+TEST(Multilevel, TraceShowsThreePhases) {
+  const auto c = test_circuit();
+  MultilevelTrace trace;
+  const Partition p =
+      MultilevelPartitioner().run_traced(c, 4, 1, &trace);
+  p.validate(c.size());
+
+  // Coarsening produced a strictly shrinking hierarchy.
+  ASSERT_GE(trace.level_sizes.size(), 2u);
+  for (std::size_t i = 1; i < trace.level_sizes.size(); ++i) {
+    EXPECT_LT(trace.level_sizes[i], trace.level_sizes[i - 1]);
+  }
+  // Refinement at the finest level produced the final cut, and the trace
+  // has one entry per refined level (coarsest + every projection).
+  EXPECT_EQ(trace.cut_after_level.size(), trace.level_sizes.size() + 1);
+  EXPECT_EQ(trace.final_cut, trace.cut_after_level.back());
+  // Refinement improved on (or matched) the raw initial partition.
+  EXPECT_LE(trace.cut_after_level.front(), trace.initial_cut);
+}
+
+TEST(Multilevel, RefinementReducesCutAcrossLevels) {
+  // The multilevel claim: refining at every intermediate level beats only
+  // refining the original graph.  At minimum, the final cut must not be
+  // worse than the projected initial partition's cut would be — proxied
+  // here by the coarsest-level cut bound.
+  const auto c = test_circuit(2000, 5);
+  MultilevelTrace trace;
+  MultilevelPartitioner().run_traced(c, 8, 2, &trace);
+  EXPECT_LT(trace.final_cut, trace.initial_cut * 2);
+}
+
+TEST(Multilevel, HeavyEdgeSchemeOptionWorks) {
+  const auto c = test_circuit();
+  MultilevelOptions opt;
+  opt.scheme = CoarsenScheme::kHeavyEdge;
+  const Partition p = MultilevelPartitioner(opt).run(c, 4, 1);
+  p.validate(c.size());
+  EXPECT_LT(edge_cut(c, p), edge_cut(c, RandomPartitioner().run(c, 4, 1)));
+}
+
+TEST(Multilevel, KlAndFmRefinerOptionsWork) {
+  const auto c = test_circuit(600, 8);
+  for (RefinerKind kind :
+       {RefinerKind::kKernighanLin, RefinerKind::kFiducciaMattheyses}) {
+    MultilevelOptions opt;
+    opt.refiner = kind;
+    const Partition p = MultilevelPartitioner(opt).run(c, 4, 1);
+    p.validate(c.size());
+    EXPECT_LE(imbalance(c, p), 1.35);
+  }
+}
+
+TEST(Multilevel, ActivityWeightedCoarseningWorks) {
+  const auto c = test_circuit();
+  std::vector<double> activity(c.size(), 1.0);
+  for (std::size_t i = 0; i < activity.size(); i += 3) activity[i] = 8.0;
+  MultilevelOptions opt;
+  opt.activity = &activity;
+  const Partition p = MultilevelPartitioner(opt).run(c, 4, 1);
+  p.validate(c.size());
+  EXPECT_LE(imbalance(c, p), 1.12);
+}
+
+TEST(Multilevel, CustomThreshold) {
+  const auto c = test_circuit();
+  MultilevelOptions opt;
+  opt.coarsen_threshold = 200;
+  MultilevelTrace trace;
+  MultilevelPartitioner(opt).run_traced(c, 4, 1, &trace);
+  ASSERT_FALSE(trace.level_sizes.empty());
+  EXPECT_LE(trace.level_sizes.back(), 200u);
+}
+
+TEST(Multilevel, TinyCircuitBelowThreshold) {
+  // Smaller than the coarsening threshold: initial + refine on G0 only.
+  circuit::GeneratorSpec spec;
+  spec.num_comb_gates = 30;
+  spec.num_inputs = 4;
+  spec.num_outputs = 2;
+  spec.num_dffs = 2;
+  const auto c = circuit::generate(spec);
+  const Partition p = MultilevelPartitioner().run(c, 2, 1);
+  p.validate(c.size());
+}
+
+TEST(Multilevel, ConcurrencyAtLeastAsGoodAsTraversals) {
+  // Coarsening from inputs + input-globule spreading should preserve more
+  // concurrency than contiguity-driven traversal partitioners.
+  const auto c = test_circuit(2000, 12);
+  const double ml = concurrency(c, MultilevelPartitioner().run(c, 8, 1));
+  const double dfs = concurrency(c, DepthFirstPartitioner().run(c, 8, 1));
+  const double bfs = concurrency(c, BfsClusterPartitioner().run(c, 8, 1));
+  EXPECT_GT(ml, std::min(dfs, bfs));
+}
+
+TEST(Multilevel, ScalesToIscasSizes) {
+  const auto c = circuit::make_iscas_like("s9234", 3);
+  const Partition p = MultilevelPartitioner().run(c, 8, 1);
+  p.validate(c.size());
+  EXPECT_LE(imbalance(c, p), 1.12);
+  EXPECT_LT(edge_cut(c, p), c.num_edges() / 3);
+}
+
+}  // namespace
+}  // namespace pls::partition

@@ -1,0 +1,131 @@
+// Tests for the static partition quality metrics: edge cut, imbalance,
+// concurrency, communication volume.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "graph/weighted_graph.hpp"
+#include "partition/metrics.hpp"
+#include "util/check.hpp"
+
+namespace pls::partition {
+namespace {
+
+circuit::Circuit diamond() {
+  // a -> g1, g2 ; g3 = AND(g1, g2)
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  const auto g1 = c.add_gate("g1", circuit::GateType::kBuf, {a});
+  const auto g2 = c.add_gate("g2", circuit::GateType::kNot, {a});
+  c.add_gate("g3", circuit::GateType::kAnd, {g1, g2});
+  c.freeze();
+  return c;
+}
+
+Partition make_partition(std::initializer_list<PartId> parts,
+                         std::uint32_t k) {
+  Partition p;
+  p.k = k;
+  p.assign = parts;
+  return p;
+}
+
+TEST(EdgeCut, CountsCrossingDirectedEdges) {
+  const auto c = diamond();
+  // a,g1 on 0; g2,g3 on 1: cut edges are a->g2 and g1->g3.
+  const auto p = make_partition({0, 0, 1, 1}, 2);
+  EXPECT_EQ(edge_cut(c, p), 2u);
+}
+
+TEST(EdgeCut, ZeroWhenSinglePartition) {
+  const auto c = diamond();
+  EXPECT_EQ(edge_cut(c, make_partition({0, 0, 0, 0}, 1)), 0u);
+}
+
+TEST(EdgeCut, AllEdgesWhenFullySplit) {
+  const auto c = diamond();
+  EXPECT_EQ(edge_cut(c, make_partition({0, 1, 2, 3}, 4)), c.num_edges());
+}
+
+TEST(EdgeCut, WeightedGraphVariantMatchesCircuit) {
+  const auto c = diamond();
+  const auto g = graph::WeightedGraph::from_circuit(c);
+  const auto p = make_partition({0, 0, 1, 1}, 2);
+  EXPECT_EQ(edge_cut(g, p), edge_cut(c, p));
+}
+
+TEST(Imbalance, PerfectIsOne) {
+  const auto c = diamond();
+  EXPECT_DOUBLE_EQ(imbalance(c, make_partition({0, 0, 1, 1}, 2)), 1.0);
+}
+
+TEST(Imbalance, SkewDetected) {
+  const auto c = diamond();
+  EXPECT_DOUBLE_EQ(imbalance(c, make_partition({0, 0, 0, 1}, 2)), 1.5);
+}
+
+TEST(Imbalance, WeightedGraphUsesVertexWeights) {
+  std::vector<std::tuple<graph::VertexId, graph::VertexId, std::uint32_t>>
+      no_edges;
+  graph::WeightedGraph g({10, 1, 1}, no_edges);
+  Partition p = make_partition({0, 1, 1}, 2);
+  // Loads: 10 vs 2, ideal 6 -> imbalance 10/6.
+  EXPECT_NEAR(imbalance(g, p), 10.0 / 6.0, 1e-12);
+}
+
+TEST(Concurrency, PerfectSpreadIsOne) {
+  const auto c = diamond();
+  // Levels: {a} / {g1,g2} / {g3}.  k=2: level 1 split across both parts.
+  const auto p = make_partition({0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(concurrency(c, p), 1.0);
+}
+
+TEST(Concurrency, SerializedLevelScoresLow) {
+  const auto c = diamond();
+  // g1,g2 both on node 0: that level runs serialized.
+  const auto p = make_partition({0, 0, 0, 1}, 2);
+  EXPECT_LT(concurrency(c, p), 1.0);
+}
+
+TEST(Concurrency, SinglePartitionIsStillDefined) {
+  const auto c = diamond();
+  const double v = concurrency(c, make_partition({0, 0, 0, 0}, 1));
+  EXPECT_GT(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(CommVolume, CountsDistinctForeignParts) {
+  const auto c = diamond();
+  // a on 0 drives g1 (0) and g2 (1): one foreign destination.  g1 on 0
+  // drives g3 (1): one.  g2,g3 on 1 drive nothing foreign.
+  EXPECT_EQ(comm_volume(c, make_partition({0, 0, 1, 1}, 2)), 2u);
+}
+
+TEST(CommVolume, BroadcastCountedOncePerPart) {
+  // One driver fanning out to three sinks in the same foreign part: one
+  // inter-node message per transition, not three.
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  c.add_gate("g1", circuit::GateType::kBuf, {a});
+  c.add_gate("g2", circuit::GateType::kNot, {a});
+  c.add_gate("g3", circuit::GateType::kBuf, {a});
+  c.freeze();
+  EXPECT_EQ(comm_volume(c, make_partition({0, 1, 1, 1}, 2)), 1u);
+  EXPECT_LE(comm_volume(c, make_partition({0, 1, 1, 1}, 2)),
+            edge_cut(c, make_partition({0, 1, 1, 1}, 2)));
+}
+
+TEST(Metrics, InvalidPartitionRejected) {
+  const auto c = diamond();
+  Partition bad;
+  bad.k = 2;
+  bad.assign = {0, 0, 5, 1};  // part 5 out of range
+  EXPECT_THROW(edge_cut(c, bad), util::CheckError);
+  Partition short_p;
+  short_p.k = 2;
+  short_p.assign = {0, 0};
+  EXPECT_THROW(imbalance(c, short_p), util::CheckError);
+}
+
+}  // namespace
+}  // namespace pls::partition

@@ -1,0 +1,131 @@
+// Tests for the sequential reference simulator on hand-built circuits with
+// waveforms that can be predicted by hand.
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_io.hpp"
+#include "circuit/circuit.hpp"
+#include "logicsim/netlist_lps.hpp"
+#include "logicsim/sequential.hpp"
+
+namespace pls::logicsim {
+namespace {
+
+using circuit::GateType;
+
+TEST(Sequential, InverterChainTracksStimulus) {
+  // a -> n0 -> n1 (two inverters): after settling, n1 == a, n0 == !a.
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  const auto n0 = c.add_gate("n0", GateType::kNot, {a});
+  const auto n1 = c.add_gate("n1", GateType::kNot, {n0});
+  c.mark_output(n1);
+  c.freeze();
+
+  ModelOptions opt;
+  opt.stim_period = 20;
+  opt.stim_seed = 7;
+  SimModel model = build_model(c, opt);
+  // End at 90: the last vector the chain can fully absorb is at t=80
+  // (a's transition reaches n1 by t=83).
+  const SeqStats out = simulate_sequential(model.behaviours(), 90);
+
+  const bool a_final = InputLp::vector_bit(7, a, 80 / 20);
+  EXPECT_EQ(InputLp::output_of(out.final_states[a]), a_final);
+  EXPECT_EQ(GateLp::output_of(out.final_states[n0]), !a_final);
+  EXPECT_EQ(GateLp::output_of(out.final_states[n1]), a_final);
+}
+
+TEST(Sequential, PowerOnSettlesInvertedGates) {
+  // NAND(a,b) with a=b=0 must settle to 1 even with no stimulus change.
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  const auto b = c.add_input("b");
+  const auto g = c.add_gate("g", GateType::kNand, {a, b});
+  c.freeze();
+
+  ModelOptions opt;
+  opt.stim_period = 1000000;  // effectively static inputs (vector 0 only)
+  opt.stim_seed = 1;          // chosen so that not both inputs are 1
+  SimModel model = build_model(c, opt);
+  const SeqStats out = simulate_sequential(model.behaviours(), 50);
+
+  const bool av = InputLp::output_of(out.final_states[a]);
+  const bool bv = InputLp::output_of(out.final_states[b]);
+  EXPECT_EQ(GateLp::output_of(out.final_states[g]), !(av && bv));
+}
+
+TEST(Sequential, DffDelaysDataByOneClock) {
+  // in -> ff; ff samples every 10 starting at phase 5.
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  const auto ff = c.add_gate("ff", GateType::kDff, {a});
+  c.mark_output(ff);
+  c.freeze();
+
+  ModelOptions opt;
+  opt.clock_period = 10;
+  opt.clock_phase = 5;
+  opt.stim_period = 40;
+  opt.stim_seed = 3;
+  SimModel model = build_model(c, opt);
+  const SeqStats out = simulate_sequential(model.behaviours(), 200);
+
+  // Q must equal the input value at the last clock edge (t=195), which is
+  // the vector applied at t=160 (index 4).
+  const bool expected = InputLp::vector_bit(3, a, 4);
+  EXPECT_EQ(DffLp::q_of(out.final_states[ff]), expected);
+}
+
+TEST(Sequential, EventCountScalesWithHorizon) {
+  circuit::Circuit c;
+  const auto a = c.add_input("a");
+  c.add_gate("n0", GateType::kNot, {a});
+  c.freeze();
+  SimModel m1 = build_model(c);
+  SimModel m2 = build_model(c);
+  const auto short_run = simulate_sequential(m1.behaviours(), 100);
+  const auto long_run = simulate_sequential(m2.behaviours(), 1000);
+  EXPECT_GT(long_run.events_processed, short_run.events_processed);
+}
+
+TEST(Sequential, PerLpEventCountsSumToTotal) {
+  const auto c = circuit::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+x = NAND(a, b)
+f = DFF(x)
+y = XOR(x, f)
+)");
+  SimModel model = build_model(c);
+  const SeqStats out = simulate_sequential(model.behaviours(), 500);
+  std::uint64_t sum = 0;
+  for (auto n : out.per_lp_events) sum += n;
+  EXPECT_EQ(sum, out.events_processed);
+  EXPECT_GT(out.events_processed, 0u);
+}
+
+TEST(Sequential, DeterministicAcrossRuns) {
+  const auto c = circuit::parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+g1 = OR(a, b)
+g2 = NOT(g1)
+f = DFF(g2)
+g3 = AND(g1, f)
+OUTPUT(g3)
+)");
+  SimModel m1 = build_model(c);
+  SimModel m2 = build_model(c);
+  const auto r1 = simulate_sequential(m1.behaviours(), 400);
+  const auto r2 = simulate_sequential(m2.behaviours(), 400);
+  EXPECT_EQ(r1.events_processed, r2.events_processed);
+  ASSERT_EQ(r1.final_states.size(), r2.final_states.size());
+  for (std::size_t i = 0; i < r1.final_states.size(); ++i) {
+    EXPECT_EQ(r1.final_states[i], r2.final_states[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pls::logicsim

@@ -1,0 +1,178 @@
+// Kernel configuration matrix: a star-topology LP system with heavy
+// cross-traffic (the worst case for rollback cascades) must produce
+// node-count-independent results under every combination of network
+// latency, state-saving period and optimism window — and its statistics
+// must satisfy the Time Warp accounting identities.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "warped/kernel.hpp"
+
+namespace pls::warped {
+namespace {
+
+/// Hub-and-spokes: the hub broadcasts a round counter to all spokes every
+/// `period`; each spoke echoes back a transformed value one tick later.
+/// The hub folds every echo into a running checksum.  All cross-LP edges
+/// touch the hub, so any partition of the spokes creates cross-node
+/// traffic in both directions at every round.
+class HubLp final : public LogicalProcess {
+ public:
+  HubLp(LpId first_spoke, LpId num_spokes, SimTime period)
+      : first_(first_spoke), n_(num_spokes), period_(period) {}
+
+  void init(Context& ctx) override {
+    if (period_ <= ctx.end_time()) ctx.schedule_self(period_);
+  }
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    bool tick = false;
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) tick = true;
+      else s.b = s.b * 31 + e.value;  // checksum over echoes
+    }
+    if (!tick) return;
+    s.a += 1;  // round counter
+    if (ctx.now() + 1 <= ctx.end_time()) {
+      for (LpId i = 0; i < n_; ++i) {
+        ctx.send(first_ + i, ctx.now() + 1, 0, s.a + i);
+      }
+    }
+    if (ctx.now() + period_ <= ctx.end_time()) {
+      ctx.schedule_self(ctx.now() + period_);
+    }
+  }
+
+ private:
+  LpId first_;
+  LpId n_;
+  SimTime period_;
+};
+
+class SpokeLp final : public LogicalProcess {
+ public:
+  explicit SpokeLp(LpId hub) : hub_(hub) {}
+
+  void init(Context&) override {}
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) continue;
+      s.a += e.value;
+      if (ctx.now() + 1 <= ctx.end_time()) {
+        ctx.send(hub_, ctx.now() + 1, 0, s.a ^ (s.a >> 3));
+      }
+    }
+  }
+
+ private:
+  LpId hub_;
+};
+
+struct Star {
+  std::vector<std::unique_ptr<LogicalProcess>> owners;
+  std::vector<LogicalProcess*> lps;
+};
+
+Star make_star(LpId spokes, SimTime period) {
+  Star s;
+  s.owners.push_back(std::make_unique<HubLp>(1, spokes, period));
+  for (LpId i = 0; i < spokes; ++i) {
+    s.owners.push_back(std::make_unique<SpokeLp>(0));
+  }
+  for (auto& o : s.owners) s.lps.push_back(o.get());
+  return s;
+}
+
+struct MatrixParam {
+  std::uint32_t nodes;
+  std::uint64_t latency_ns;
+  std::uint32_t state_period;
+  SimTime window;
+};
+
+class KernelMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(KernelMatrix, StarResultsAreNodeCountInvariant) {
+  const MatrixParam prm = GetParam();
+  constexpr LpId kSpokes = 14;
+  constexpr SimTime kEnd = 400;
+
+  // Reference: single node, plain configuration.
+  Star ref_star = make_star(kSpokes, 7);
+  KernelConfig ref_cfg;
+  ref_cfg.end_time = kEnd;
+  Kernel ref_kernel(ref_star.lps, std::vector<std::uint32_t>(kSpokes + 1, 0),
+                    ref_cfg);
+  const RunStats ref = ref_kernel.run();
+
+  Star star = make_star(kSpokes, 7);
+  KernelConfig cfg;
+  cfg.end_time = kEnd;
+  cfg.num_nodes = prm.nodes;
+  cfg.network.latency_ns = prm.latency_ns;
+  cfg.network.send_overhead_ns = prm.latency_ns / 20;
+  cfg.state_period = prm.state_period;
+  cfg.optimism_window = prm.window;
+  cfg.gvt_interval_us = 500;
+  std::vector<std::uint32_t> node_of(kSpokes + 1);
+  for (LpId i = 0; i <= kSpokes; ++i) node_of[i] = i % prm.nodes;
+  Kernel kernel(star.lps, node_of, cfg);
+  const RunStats out = kernel.run();
+
+  // Identical committed results.
+  ASSERT_EQ(out.final_states.size(), ref.final_states.size());
+  for (std::size_t i = 0; i < ref.final_states.size(); ++i) {
+    EXPECT_EQ(out.final_states[i], ref.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(out.totals.events_committed, ref.totals.events_committed);
+
+  // Time Warp accounting identities.
+  EXPECT_EQ(out.totals.events_processed,
+            out.totals.events_committed + out.totals.events_rolled_back);
+  EXPECT_EQ(out.final_gvt, kEndOfTime);
+  EXPECT_FALSE(out.out_of_memory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, KernelMatrix,
+    ::testing::Values(MatrixParam{2, 0, 1, 0}, MatrixParam{2, 20000, 1, 0},
+                      MatrixParam{3, 5000, 1, 0},
+                      MatrixParam{4, 20000, 1, 0},
+                      MatrixParam{4, 20000, 4, 0},
+                      MatrixParam{4, 20000, 1, 30},
+                      MatrixParam{4, 5000, 8, 15},
+                      MatrixParam{8, 10000, 3, 0},
+                      MatrixParam{8, 40000, 1, 50}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.nodes) + "_lat" +
+             std::to_string(info.param.latency_ns / 1000) + "us_sp" +
+             std::to_string(info.param.state_period) + "_w" +
+             std::to_string(info.param.window);
+    });
+
+TEST(KernelMatrixExtras, RepeatedRunsAreStable) {
+  // Thread interleavings differ between runs; committed results must not.
+  for (int rep = 0; rep < 3; ++rep) {
+    Star star = make_star(10, 7);
+    KernelConfig cfg;
+    cfg.end_time = 300;
+    cfg.num_nodes = 4;
+    cfg.network.latency_ns = 15000;
+    std::vector<std::uint32_t> node_of(11);
+    for (LpId i = 0; i < 11; ++i) node_of[i] = i % 4;
+    Kernel kernel(star.lps, node_of, cfg);
+    const RunStats out = kernel.run();
+    static std::uint64_t first_checksum = 0;
+    if (rep == 0) first_checksum = out.final_states[0].b;
+    EXPECT_EQ(out.final_states[0].b, first_checksum);
+  }
+}
+
+}  // namespace
+}  // namespace pls::warped
