@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "circuit/generator.hpp"
+#include "framework/registry.hpp"
 #include "util/check.hpp"
 
 namespace pls::bench {
@@ -65,10 +66,10 @@ circuit::Circuit make_benchmark(const std::string& name,
 }
 
 const std::vector<std::string>& strategies() {
-  static const std::vector<std::string> kOrder = {
-      "Random", "DFS", "Cluster", "Topological", "Multilevel",
-      "ConePartition"};
-  return kOrder;
+  // The registry's listing is already in the paper's presentation order
+  // (plus the hypergraph partitioner); sharing it means a strategy added
+  // there automatically appears in every bench harness.
+  return framework::partitioner_names();
 }
 
 framework::DriverConfig driver_config(const BenchConfig& cfg,

@@ -65,7 +65,8 @@ BenchConfig config_from_cli(const util::Cli& cli);
 circuit::Circuit make_benchmark(const std::string& name,
                                 const BenchConfig& cfg);
 
-/// The six strategies in the paper's presentation order.
+/// The paper's six strategies in presentation order, plus "MultilevelHG"
+/// (the native hypergraph partitioner) for head-to-head comparison.
 const std::vector<std::string>& strategies();
 
 /// Driver config preset for one parallel run.

@@ -1,12 +1,21 @@
 // Static partition-quality study: edge cut, communication volume, load
-// imbalance, concurrency and partitioning time for all six strategies on
-// the three benchmarks — the quantities the paper's §3 argues the
-// multilevel algorithm balances (and the quality measure, "edges cut", its
-// related work is judged by).
+// imbalance, concurrency and partitioning time for all strategies on the
+// three benchmarks — the quantities the paper's §3 argues the multilevel
+// algorithm balances (and the quality measure, "edges cut", its related
+// work is judged by).
+//
+// Two cut columns are reported side by side for every strategy:
+//   EdgeCut  — pairwise cut of the symmetrized circuit graph (the paper's
+//              measure; double-counts multi-fanout nets)
+//   HGLambda1 / HGCutNets — native hypergraph connectivity-1 volume and
+//              cut-net count (the messages the Time Warp layer actually
+//              pays; what "MultilevelHG" optimizes directly)
 
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "hypergraph/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -20,26 +29,37 @@ int main(int argc, char** argv) {
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
   const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
 
-  util::AsciiTable table({"Circuit", "Strategy", "EdgeCut", "CommVolume",
-                          "Imbalance", "Concurrency", "PartTime(ms)"});
+  util::AsciiTable table({"Circuit", "Strategy", "EdgeCut", "HGLambda1",
+                          "HGCutNets", "Imbalance", "Concurrency",
+                          "PartTime(ms)"});
+  // comm_volume (circuit-side) and hg_lambda1 (hypergraph-side) are
+  // provably equal — both stay in the CSV deliberately: the pair is a
+  // cross-check of the two implementations, and comm_volume keeps the
+  // schema of earlier runs.
   util::CsvWriter csv(cfg.csv_dir + "/partition_quality.csv",
                       {"circuit", "strategy", "k", "edge_cut", "comm_volume",
-                       "imbalance", "concurrency", "partition_ms"});
+                       "hg_lambda1", "hg_cut_nets", "imbalance", "concurrency",
+                       "partition_ms"});
 
   for (const char* name : {"s5378", "s9234", "s15850"}) {
     const circuit::Circuit c = bench::make_benchmark(name, cfg);
+    const hypergraph::Hypergraph hg = hypergraph::Hypergraph::from_circuit(c);
     table.add_rule();
     for (const auto& strategy : bench::strategies()) {
       const framework::DriverConfig dc =
           bench::driver_config(cfg, strategy, k);
       const framework::DriverResult res = framework::partition_only(c, dc);
+      const std::uint64_t lambda1 =
+          hypergraph::connectivity_minus_one(hg, res.partition);
+      const std::uint64_t cut_nets = hypergraph::cut_net(hg, res.partition);
       table.add_row({name, strategy, std::to_string(res.edge_cut),
-                     std::to_string(res.comm_volume),
+                     std::to_string(lambda1), std::to_string(cut_nets),
                      util::AsciiTable::num(res.imbalance, 3),
                      util::AsciiTable::num(res.concurrency, 3),
                      util::AsciiTable::num(res.partition_seconds * 1e3, 2)});
       csv.row({name, strategy, std::to_string(k),
                std::to_string(res.edge_cut), std::to_string(res.comm_volume),
+               std::to_string(lambda1), std::to_string(cut_nets),
                util::AsciiTable::num(res.imbalance, 4),
                util::AsciiTable::num(res.concurrency, 4),
                util::AsciiTable::num(res.partition_seconds * 1e3, 4)});

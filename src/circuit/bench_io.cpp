@@ -19,11 +19,21 @@ std::string upper(std::string s) {
   return s;
 }
 
+// Whitespace test with '\r' spelled out: ISCAS archives ship CRLF .bench
+// files and std::getline leaves the carriage return on every line, so the
+// stripping here is load-bearing.  std::isspace covers '\r' too in the
+// default locale; this explicit list keeps the guarantee independent of
+// any future setlocale() and of char-sign UB.
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+         c == '\f';
+}
+
 std::string strip(const std::string& s) {
   std::size_t b = 0;
   std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
   return s.substr(b, e - b);
 }
 
@@ -102,7 +112,12 @@ Circuit parse_bench(std::istream& in, const std::string& name) {
     if (g.name.empty()) throw BenchParseError(lineno, "empty gate name");
     const std::string kw = strip(line.substr(eq + 1, lparen - eq - 1));
     const auto type = gate_type_from(kw);
-    if (!type) throw BenchParseError(lineno, "unknown gate type '" + kw + "'");
+    if (!type) {
+      // BenchParseError prefixes the line number; name the gate too so a
+      // bad line in a 10k-line netlist is findable either way.
+      throw BenchParseError(lineno, "unknown gate type '" + kw +
+                                        "' for gate '" + g.name + "'");
+    }
     g.type = *type;
 
     std::string args = line.substr(lparen + 1, rparen - lparen - 1);

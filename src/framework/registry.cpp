@@ -1,5 +1,6 @@
 #include "framework/registry.hpp"
 
+#include "hypergraph/multilevel_hg_partitioner.hpp"
 #include "partition/baselines.hpp"
 #include "util/check.hpp"
 
@@ -8,7 +9,7 @@ namespace pls::framework {
 const std::vector<std::string>& partitioner_names() {
   static const std::vector<std::string> kNames = {
       "Random", "DFS", "Cluster", "Topological", "Multilevel",
-      "ConePartition"};
+      "ConePartition", "MultilevelHG"};
   return kNames;
 }
 
@@ -22,6 +23,16 @@ std::unique_ptr<partition::Partitioner> make_partitioner(
   if (name == "Multilevel") return std::make_unique<MultilevelPartitioner>(ml);
   if (name == "ConePartition" || name == "Cone") {
     return std::make_unique<FanoutConePartitioner>();
+  }
+  if (name == "MultilevelHG") {
+    // Shares the multilevel knobs that have hypergraph equivalents, so a
+    // head-to-head comparison runs both pipelines at the same imbalance
+    // tolerance and refinement budget.
+    hypergraph::MultilevelHGOptions hgo;
+    hgo.balance_tol = ml.balance_tol;
+    hgo.refine_iters = ml.refine_iters;
+    hgo.coarsen_threshold = ml.coarsen_threshold;
+    return std::make_unique<hypergraph::MultilevelHGPartitioner>(hgo);
   }
   PLS_CHECK_MSG(false, "unknown partitioner '" << name << "'");
   return nullptr;

@@ -4,7 +4,9 @@
 // algorithms without necessitating re-compilation of the system."
 //
 // Strategies are keyed by the names the paper's tables use: "Random",
-// "DFS", "Cluster", "Topological", "Multilevel", "ConePartition".
+// "DFS", "Cluster", "Topological", "Multilevel", "ConePartition" — plus
+// "MultilevelHG", the native hypergraph partitioner (src/hypergraph/)
+// that optimizes the λ−1 communication volume directly.
 
 #include <memory>
 #include <string>

@@ -1,0 +1,70 @@
+#pragma once
+// Coarsening phase of the multilevel hypergraph partitioner.
+//
+// Mirrors the structure of partition/coarsen.hpp (globule hierarchy,
+// per-globule weight caps, the primary-input separation rule) but matches
+// vertices by *pin similarity* instead of walking fanout: two vertices are
+// good merge candidates when they share many light nets, scored by the
+// classic heavy-edge rating Σ_{e ∋ u,v} w(e)/(|e|−1).  Contracting such a
+// pair removes those nets' pins from the cut frontier without inflating
+// any net, which is what makes the coarse levels faithful proxies for the
+// λ−1 objective.
+//
+// Contraction maps every net's pins through the match, merges duplicate
+// pins, drops single-pin nets, and folds *identical* nets together by
+// summing their weights — on circuit hypergraphs many fanout nets collapse
+// to the same pin set after one level, so this keeps levels small.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace pls::hypergraph {
+
+struct HgCoarsenOptions {
+  /// Stop once the vertex count is <= threshold. 0 = caller default (64).
+  std::size_t threshold = 64;
+  std::size_t max_levels = 64;
+  std::uint64_t seed = 1;
+  /// Largest weight a single globule may reach (0 = unlimited); same role
+  /// as CoarsenOptions::max_globule_weight.
+  std::uint64_t max_globule_weight = 0;
+  /// Nets with more pins than this are ignored when rating matches (they
+  /// are almost never removable from the cut, and rating them is O(|e|²)).
+  std::size_t rating_pin_limit = 64;
+};
+
+/// One coarse level derived from the level above it.
+struct HgCoarseLevel {
+  Hypergraph hg;
+  std::vector<std::uint32_t> parent_map;  ///< finer vertex -> this level's
+  std::vector<std::uint8_t> contains_input;
+  std::size_t merged_globules = 0;  ///< globules formed by >=2 members
+};
+
+/// The multilevel hierarchy: base H0 plus H1 … Hm.
+struct HgHierarchy {
+  Hypergraph base;
+  std::vector<std::uint8_t> base_contains_input;
+  std::vector<HgCoarseLevel> levels;
+
+  const Hypergraph& coarsest() const {
+    return levels.empty() ? base : levels.back().hg;
+  }
+  const std::vector<std::uint8_t>& coarsest_contains_input() const {
+    return levels.empty() ? base_contains_input
+                          : levels.back().contains_input;
+  }
+};
+
+/// Build the hierarchy for a frozen circuit (base = from_circuit).
+HgHierarchy coarsen(const circuit::Circuit& c, const HgCoarsenOptions& opt);
+
+/// Structural invariants (mirrors partition::check_hierarchy_invariants):
+/// parent maps are total and in range, coarse vertex weights are member
+/// sums, no globule holds two primary inputs.  Throws util::CheckError.
+void check_hg_hierarchy_invariants(const HgHierarchy& h);
+
+}  // namespace pls::hypergraph

@@ -1,0 +1,84 @@
+#pragma once
+// Hypergraph: the exact communication structure of a circuit.
+//
+// The pairwise WeightedGraph the paper partitions symmetrizes multi-fanout
+// nets into cliques of 2-pin edges, which double-counts their cut: a gate
+// driving f sinks in one foreign part pays f graph edges but only one
+// inter-node message per transition.  A hypergraph models the net as a
+// single hyperedge whose pins are the driver and all its sinks, so the
+// connectivity-1 (λ−1) objective counts exactly the Time Warp messages one
+// signal transition generates — the quantity partition::comm_volume reports
+// as a side statistic and this subsystem optimizes directly.
+//
+// Layout is CSR in both directions (net → pins, vertex → incident nets):
+// two offset arrays and two flat id arrays, so traversals in the coarsener
+// and FM refiner are contiguous scans with no per-net allocation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace pls::hypergraph {
+
+using VertexId = std::uint32_t;
+using NetId = std::uint32_t;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Build from an explicit net list.  Within each net, duplicate pins are
+  /// merged; single-pin nets are dropped (they can never be cut).
+  /// `vertex_weights` defines the vertex count; `net_weights` defaults to
+  /// all-1 and is indexed like `nets`.
+  Hypergraph(std::vector<std::uint32_t> vertex_weights,
+             const std::vector<std::vector<VertexId>>& nets,
+             const std::vector<std::uint32_t>& net_weights = {});
+
+  /// One vertex per gate (weight 1); one hyperedge per driving gate's
+  /// fanout net, pins = {driver} ∪ fanouts(driver).  Gates with no fanout
+  /// (or whose only sink is themselves) contribute no net.
+  static Hypergraph from_circuit(const circuit::Circuit& c);
+
+  std::size_t num_vertices() const noexcept { return vweight_.size(); }
+  std::size_t num_nets() const noexcept { return net_weight_.size(); }
+  std::size_t num_pins() const noexcept { return pins_.size(); }
+
+  std::uint32_t vertex_weight(VertexId v) const { return vweight_.at(v); }
+  std::uint64_t total_vertex_weight() const noexcept { return total_weight_; }
+  std::uint32_t net_weight(NetId e) const { return net_weight_.at(e); }
+
+  /// Pins of net e, sorted ascending, duplicate-free.
+  std::span<const VertexId> pins(NetId e) const {
+    return {pins_.data() + net_off_.at(e), net_off_.at(e + 1) - net_off_.at(e)};
+  }
+
+  /// Nets incident to vertex v (every net that has v as a pin).
+  std::span<const NetId> nets(VertexId v) const {
+    return {incident_.data() + vtx_off_.at(v),
+            vtx_off_.at(v + 1) - vtx_off_.at(v)};
+  }
+
+  /// Sum of net weights over nets incident to v — the largest possible
+  /// λ−1 change a single move of v can cause (bounds FM gains).
+  std::uint64_t weighted_degree(VertexId v) const;
+
+ private:
+  void build_incidence();
+
+  std::vector<std::uint32_t> vweight_;
+  std::uint64_t total_weight_ = 0;
+
+  // net → pins (CSR)
+  std::vector<std::uint32_t> net_off_;
+  std::vector<VertexId> pins_;
+  std::vector<std::uint32_t> net_weight_;
+
+  // vertex → incident nets (CSR)
+  std::vector<std::uint32_t> vtx_off_;
+  std::vector<NetId> incident_;
+};
+
+}  // namespace pls::hypergraph

@@ -1,0 +1,90 @@
+#include "hypergraph/initial.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::hypergraph {
+
+partition::Partition initial_partition(
+    const Hypergraph& hg, const std::vector<std::uint8_t>& contains_input,
+    const HgInitialOptions& opt) {
+  PLS_CHECK(opt.k >= 1);
+  PLS_CHECK(contains_input.size() == hg.num_vertices());
+  util::Rng rng(opt.seed);
+  const std::size_t n = hg.num_vertices();
+  constexpr partition::PartId kUnassigned = ~partition::PartId{0};
+
+  partition::Partition p;
+  p.k = opt.k;
+  p.assign.assign(n, kUnassigned);
+
+  std::vector<std::uint64_t> load(opt.k, 0);
+
+  auto least_loaded = [&]() -> partition::PartId {
+    return static_cast<partition::PartId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+  };
+
+  // Phase 1: spread input globules, heaviest first onto the least-loaded
+  // part, seeding each part's BFS frontier.
+  std::vector<VertexId> inputs;
+  for (VertexId v = 0; v < n; ++v) {
+    if (contains_input[v]) inputs.push_back(v);
+  }
+  std::sort(inputs.begin(), inputs.end(), [&](VertexId a, VertexId b) {
+    return hg.vertex_weight(a) > hg.vertex_weight(b);
+  });
+  std::vector<std::deque<VertexId>> frontier(opt.k);
+  auto assign = [&](VertexId v, partition::PartId part) {
+    p.assign[v] = part;
+    load[part] += hg.vertex_weight(v);
+    frontier[part].push_back(v);
+  };
+  for (VertexId v : inputs) assign(v, least_loaded());
+
+  // Phase 2: grow the least-loaded part through its net frontier; fall
+  // back to a random unassigned vertex when the frontier is exhausted
+  // (disconnected logic, or every reachable vertex already taken).
+  std::vector<VertexId> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  rng.shuffle(pool);
+  std::size_t pool_pos = 0;
+  std::size_t assigned = inputs.size();
+
+  while (assigned < n) {
+    const partition::PartId part = least_loaded();
+    VertexId next = ~VertexId{0};
+    auto& q = frontier[part];
+    while (!q.empty() && next == ~VertexId{0}) {
+      const VertexId from = q.front();
+      // Scan `from`'s nets for an unassigned pin; drop `from` from the
+      // frontier once its neighbourhood is exhausted.
+      for (NetId e : hg.nets(from)) {
+        for (VertexId u : hg.pins(e)) {
+          if (p.assign[u] == kUnassigned) {
+            next = u;
+            break;
+          }
+        }
+        if (next != ~VertexId{0}) break;
+      }
+      if (next == ~VertexId{0}) q.pop_front();
+    }
+    if (next == ~VertexId{0}) {
+      while (pool_pos < n && p.assign[pool[pool_pos]] != kUnassigned) {
+        ++pool_pos;
+      }
+      PLS_CHECK(pool_pos < n);
+      next = pool[pool_pos];
+    }
+    assign(next, part);
+    ++assigned;
+  }
+  return p;
+}
+
+}  // namespace pls::hypergraph

@@ -1,0 +1,33 @@
+#pragma once
+// Initial k-way partitioning at the coarsest level of the hypergraph
+// hierarchy.
+//
+// Mirrors the graph pipeline's initial phase (partition/initial.hpp) but
+// grows parts by breadth-first traversal over nets: input globules are
+// spread evenly first (concurrency, as in the paper's §3), then each part
+// in least-loaded order absorbs an unassigned vertex from its net
+// frontier, so parts start out net-connected and the first FM pass has
+// few stranded pins to repair.
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/partition.hpp"
+
+namespace pls::hypergraph {
+
+// Balance needs no tolerance knob here: the grower always extends the
+// least-loaded part, which keeps loads within one globule weight of each
+// other — tighter than any sane tolerance (the coarsener caps globules at
+// a quarter of the ideal part load).  The FM refiner owns the tolerance.
+struct HgInitialOptions {
+  std::uint32_t k = 2;
+  std::uint64_t seed = 1;
+};
+
+partition::Partition initial_partition(
+    const Hypergraph& hg, const std::vector<std::uint8_t>& contains_input,
+    const HgInitialOptions& opt);
+
+}  // namespace pls::hypergraph

@@ -1,0 +1,69 @@
+#include "hypergraph/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pls::hypergraph {
+namespace {
+
+/// Number of distinct parts among a net's pins; `seen` is caller-provided
+/// scratch of size k, zeroed between calls via the returned list.
+std::uint32_t lambda_of(const Hypergraph& hg, NetId e,
+                        const partition::Partition& p,
+                        std::vector<std::uint8_t>& seen,
+                        std::vector<partition::PartId>& touched) {
+  touched.clear();
+  for (VertexId v : hg.pins(e)) {
+    const partition::PartId q = p.assign[v];
+    if (!seen[q]) {
+      seen[q] = 1;
+      touched.push_back(q);
+    }
+  }
+  for (partition::PartId q : touched) seen[q] = 0;
+  return static_cast<std::uint32_t>(touched.size());
+}
+
+}  // namespace
+
+std::uint64_t cut_net(const Hypergraph& hg, const partition::Partition& p) {
+  p.validate(hg.num_vertices());
+  std::uint64_t cut = 0;
+  std::vector<std::uint8_t> seen(p.k, 0);
+  std::vector<partition::PartId> touched;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    if (lambda_of(hg, e, p, seen, touched) > 1) cut += hg.net_weight(e);
+  }
+  return cut;
+}
+
+std::uint64_t connectivity_minus_one(const Hypergraph& hg,
+                                     const partition::Partition& p) {
+  p.validate(hg.num_vertices());
+  std::uint64_t volume = 0;
+  std::vector<std::uint8_t> seen(p.k, 0);
+  std::vector<partition::PartId> touched;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    volume += static_cast<std::uint64_t>(hg.net_weight(e)) *
+              (lambda_of(hg, e, p, seen, touched) - 1);
+  }
+  return volume;
+}
+
+double imbalance(const Hypergraph& hg, const partition::Partition& p) {
+  p.validate(hg.num_vertices());
+  PLS_CHECK(p.k >= 1);
+  if (hg.total_vertex_weight() == 0) return 1.0;
+  std::vector<std::uint64_t> load(p.k, 0);
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    load[p.assign[v]] += hg.vertex_weight(v);
+  }
+  const double ideal = static_cast<double>(hg.total_vertex_weight()) /
+                       static_cast<double>(p.k);
+  return static_cast<double>(*std::max_element(load.begin(), load.end())) /
+         ideal;
+}
+
+}  // namespace pls::hypergraph

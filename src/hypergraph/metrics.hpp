@@ -1,0 +1,33 @@
+#pragma once
+// Native hypergraph partition-quality metrics.
+//
+// For a net e let λ(e) be the number of distinct parts its pins touch.
+// The two classic hypergraph objectives are:
+//   cut-net:          Σ w(e) over nets with λ(e) > 1
+//   connectivity-1:   Σ w(e)·(λ(e) − 1)
+// Because from_circuit() includes the driving gate as a pin of its fanout
+// net, connectivity-1 on that hypergraph equals partition::comm_volume on
+// the circuit exactly: λ(e)−1 is the number of foreign parts the driver
+// must message per transition (tested in hypergraph_test).
+//
+// For any partition into k parts: cut_net ≤ connectivity_minus_one ≤
+// (k−1)·cut_net.
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/partition.hpp"
+
+namespace pls::hypergraph {
+
+/// Weighted number of nets spanning more than one part.
+std::uint64_t cut_net(const Hypergraph& hg, const partition::Partition& p);
+
+/// Σ w(e)·(λ(e) − 1) — the λ−1 communication-volume objective.
+std::uint64_t connectivity_minus_one(const Hypergraph& hg,
+                                     const partition::Partition& p);
+
+/// Max part weight / ideal part weight (1.0 = perfect), by vertex weight.
+double imbalance(const Hypergraph& hg, const partition::Partition& p);
+
+}  // namespace pls::hypergraph

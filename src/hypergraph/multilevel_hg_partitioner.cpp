@@ -1,0 +1,83 @@
+#include "hypergraph/multilevel_hg_partitioner.hpp"
+
+#include <algorithm>
+
+#include "hypergraph/initial.hpp"
+#include "hypergraph/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::hypergraph {
+
+partition::Partition MultilevelHGPartitioner::run(const circuit::Circuit& c,
+                                                  std::uint32_t k,
+                                                  std::uint64_t seed) const {
+  return run_traced(c, k, seed, nullptr);
+}
+
+partition::Partition MultilevelHGPartitioner::run_traced(
+    const circuit::Circuit& c, std::uint32_t k, std::uint64_t seed,
+    MultilevelHGTrace* trace) const {
+  PLS_CHECK(k >= 1);
+  util::SplitMix64 seeder(seed);
+
+  // ---- Phase 1: heavy-pin coarsening ----------------------------------
+  HgCoarsenOptions copt;
+  copt.threshold = opt_.coarsen_threshold != 0
+                       ? opt_.coarsen_threshold
+                       : std::max<std::size_t>(std::size_t{8} * k, 128);
+  copt.seed = seeder.next();
+  // Same cap policy as the graph pipeline: a quarter of the ideal per-part
+  // load, so the initial phase can balance and FM retains movable units.
+  copt.max_globule_weight = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(c.size()) / (std::uint64_t{4} * k));
+  const HgHierarchy h = coarsen(c, copt);
+
+  if (trace != nullptr) {
+    trace->level_sizes.clear();
+    trace->lambda_after_level.clear();
+    for (const auto& lvl : h.levels) {
+      trace->level_sizes.push_back(lvl.hg.num_vertices());
+    }
+  }
+
+  // ---- Phase 2: BFS-grown initial k-way at the coarsest level ---------
+  HgInitialOptions iopt;
+  iopt.k = k;
+  iopt.seed = seeder.next();
+  partition::Partition p =
+      initial_partition(h.coarsest(), h.coarsest_contains_input(), iopt);
+  if (trace != nullptr) {
+    trace->initial_lambda = connectivity_minus_one(h.coarsest(), p);
+  }
+
+  // ---- Phase 3: λ−1 FM refinement, projecting from Hm down to H0 ------
+  HgRefineOptions ropt;
+  ropt.balance_tol = opt_.balance_tol;
+  ropt.max_iters = opt_.refine_iters;
+
+  HgRefineResult r = refine_fm(h.coarsest(), p, ropt);
+  if (trace != nullptr) trace->lambda_after_level.push_back(r.lambda_after);
+
+  for (std::size_t i = h.levels.size(); i-- > 0;) {
+    // Project: every member vertex inherits its globule's part.
+    const auto& map = h.levels[i].parent_map;
+    partition::Partition finer;
+    finer.k = k;
+    finer.assign.resize(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      finer.assign[v] = p.assign[map[v]];
+    }
+    p = std::move(finer);
+
+    const Hypergraph& hfine = i == 0 ? h.base : h.levels[i - 1].hg;
+    r = refine_fm(hfine, p, ropt);
+    if (trace != nullptr) trace->lambda_after_level.push_back(r.lambda_after);
+  }
+
+  if (trace != nullptr) trace->final_lambda = connectivity_minus_one(h.base, p);
+  p.validate(c.size());
+  return p;
+}
+
+}  // namespace pls::hypergraph

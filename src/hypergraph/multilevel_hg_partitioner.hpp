@@ -1,0 +1,61 @@
+#pragma once
+// MultilevelHG: multilevel k-way partitioning of the circuit *hypergraph*,
+// optimizing connectivity-1 (λ−1) directly.
+//
+// Same three-phase shape as the paper's graph algorithm (coarsen →
+// initial → refine-per-level, projecting downward), but every phase runs
+// on the hypergraph: heavy-pin coarsening keeps multi-fanout nets whole,
+// and FM refinement scores moves by the exact number of inter-node
+// messages a signal transition costs.  Registered in the framework
+// registry as "MultilevelHG" so it is runtime-selectable next to the
+// paper's six strategies.
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/coarsen.hpp"
+#include "hypergraph/refine.hpp"
+#include "partition/partition.hpp"
+
+namespace pls::hypergraph {
+
+struct MultilevelHGOptions {
+  /// Coarsening stops at this vertex count; 0 = auto (max(8k, 128)).
+  /// Pairwise matching halves levels at best, so the HG pipeline keeps a
+  /// slightly larger coarsest level than the graph pipeline's 4k.
+  std::size_t coarsen_threshold = 0;
+  /// Same default as MultilevelOptions::balance_tol so head-to-head
+  /// comparisons run at equal imbalance tolerance.
+  double balance_tol = 0.03;
+  std::uint32_t refine_iters = 8;
+};
+
+/// Per-run diagnostics (mirrors MultilevelTrace, in λ−1 terms).
+struct MultilevelHGTrace {
+  std::vector<std::size_t> level_sizes;          ///< |V| of H1..Hm
+  std::vector<std::uint64_t> lambda_after_level; ///< λ−1 after each level
+  std::uint64_t initial_lambda = 0;              ///< λ−1 after initial phase
+  std::uint64_t final_lambda = 0;                ///< λ−1 on H0
+};
+
+class MultilevelHGPartitioner final : public partition::Partitioner {
+ public:
+  MultilevelHGPartitioner() = default;
+  explicit MultilevelHGPartitioner(MultilevelHGOptions opt) : opt_(opt) {}
+
+  std::string name() const override { return "MultilevelHG"; }
+
+  partition::Partition run(const circuit::Circuit& c, std::uint32_t k,
+                           std::uint64_t seed) const override;
+
+  partition::Partition run_traced(const circuit::Circuit& c, std::uint32_t k,
+                                  std::uint64_t seed,
+                                  MultilevelHGTrace* trace) const;
+
+  const MultilevelHGOptions& options() const noexcept { return opt_; }
+
+ private:
+  MultilevelHGOptions opt_;
+};
+
+}  // namespace pls::hypergraph

@@ -1,0 +1,219 @@
+#include "hypergraph/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hypergraph/metrics.hpp"
+#include "util/check.hpp"
+
+namespace pls::hypergraph {
+namespace {
+
+using partition::PartId;
+
+constexpr std::int64_t kMaxExcursion = 64;  ///< negative-gain bail-out
+
+struct BucketEntry {
+  VertexId v;
+  std::uint32_t stamp;  ///< stale if != stamp[v]
+};
+
+/// Gain buckets: one vector per possible gain value, offset by the maximum
+/// weighted degree so indices are non-negative.  Entries are invalidated
+/// lazily via per-vertex stamps; a popped entry whose gain went stale is
+/// re-inserted at its fresh gain, so stale positions cost extra pops but
+/// never a wrong move.
+class GainBuckets {
+ public:
+  explicit GainBuckets(std::int64_t max_gain)
+      : offset_(max_gain), buckets_(2 * max_gain + 1), top_(-1) {}
+
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+    top_ = -1;
+  }
+
+  void push(std::int64_t gain, BucketEntry entry) {
+    const auto idx = static_cast<std::size_t>(
+        std::clamp<std::int64_t>(gain + offset_, 0,
+                                 static_cast<std::int64_t>(buckets_.size()) -
+                                     1));
+    buckets_[idx].push_back(entry);
+    top_ = std::max(top_, static_cast<std::int64_t>(idx));
+  }
+
+  /// Pop the entry with the highest bucket gain; false when empty.
+  bool pop(BucketEntry* out, std::int64_t* gain) {
+    while (top_ >= 0) {
+      auto& b = buckets_[static_cast<std::size_t>(top_)];
+      if (b.empty()) {
+        --top_;
+        continue;
+      }
+      *out = b.back();
+      b.pop_back();
+      *gain = top_ - offset_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::int64_t offset_;
+  std::vector<std::vector<BucketEntry>> buckets_;
+  std::int64_t top_;
+};
+
+}  // namespace
+
+HgRefineResult refine_fm(const Hypergraph& hg, partition::Partition& p,
+                         const HgRefineOptions& opt) {
+  p.validate(hg.num_vertices());
+  const std::size_t n = hg.num_vertices();
+  const std::uint32_t k = p.k;
+
+  HgRefineResult res;
+  res.lambda_before = connectivity_minus_one(hg, p);
+  res.lambda_after = res.lambda_before;
+  if (k < 2 || n == 0) return res;
+
+  // Φ(e,q): pins of net e in part q, stored flat.
+  std::vector<std::uint32_t> phi(hg.num_nets() * k, 0);
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    for (VertexId v : hg.pins(e)) ++phi[e * k + p.assign[v]];
+  }
+
+  std::vector<std::uint64_t> load(k, 0);
+  for (VertexId v = 0; v < n; ++v) load[p.assign[v]] += hg.vertex_weight(v);
+  const auto limit = static_cast<std::uint64_t>(std::ceil(
+      static_cast<double>(hg.total_vertex_weight()) / static_cast<double>(k) *
+      (1.0 + opt.balance_tol)));
+
+  // Best move of v under the λ−1 gain (balance checked at pop time).
+  std::vector<std::uint64_t> present(k, 0);
+  auto best_move = [&](VertexId v) -> std::pair<std::int64_t, PartId> {
+    const PartId home = p.assign[v];
+    std::fill(present.begin(), present.end(), 0);
+    std::int64_t freed = 0;  // gain from leaving home, target-independent
+    std::int64_t degw = 0;
+    for (NetId e : hg.nets(v)) {
+      const auto w = static_cast<std::int64_t>(hg.net_weight(e));
+      degw += w;
+      const std::uint32_t* row = phi.data() + std::size_t{e} * k;
+      if (row[home] == 1) freed += w;
+      for (PartId q = 0; q < k; ++q) {
+        if (q != home && row[q] > 0) present[q] += static_cast<std::uint64_t>(w);
+      }
+    }
+    std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
+    PartId best_part = home;
+    for (PartId q = 0; q < k; ++q) {
+      if (q == home) continue;
+      const std::int64_t gain =
+          freed - degw + static_cast<std::int64_t>(present[q]);
+      if (gain > best_gain ||
+          (gain == best_gain && load[q] < load[best_part])) {
+        best_gain = gain;
+        best_part = q;
+      }
+    }
+    return {best_gain, best_part};
+  };
+
+  std::int64_t max_degw = 1;
+  for (VertexId v = 0; v < n; ++v) {
+    max_degw = std::max(max_degw,
+                        static_cast<std::int64_t>(hg.weighted_degree(v)));
+  }
+  GainBuckets buckets(max_degw);
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<std::uint8_t> locked(n, 0);
+
+  struct Move {
+    VertexId v;
+    PartId from;
+    PartId to;
+  };
+
+  auto apply = [&](VertexId v, PartId from, PartId to) {
+    for (NetId e : hg.nets(v)) {
+      --phi[std::size_t{e} * k + from];
+      ++phi[std::size_t{e} * k + to];
+    }
+    p.assign[v] = to;
+    load[from] -= hg.vertex_weight(v);
+    load[to] += hg.vertex_weight(v);
+  };
+
+  for (std::uint32_t iter = 0; iter < opt.max_iters; ++iter) {
+    ++res.iterations;
+
+    buckets.clear();
+    std::fill(locked.begin(), locked.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto [gain, part] = best_move(v);
+      if (part != p.assign[v]) buckets.push(gain, {v, stamp[v]});
+    }
+
+    std::vector<Move> log;
+    std::int64_t cum = 0;
+    std::int64_t best_cum = 0;
+    std::size_t best_prefix = 0;
+
+    BucketEntry top;
+    std::int64_t bucket_gain;
+    while (log.size() < n && buckets.pop(&top, &bucket_gain)) {
+      if (top.stamp != stamp[top.v] || locked[top.v]) continue;  // stale
+      const auto [gain, target] = best_move(top.v);
+      if (gain != bucket_gain) {  // re-queue at the fresh gain
+        ++stamp[top.v];
+        buckets.push(gain, {top.v, stamp[top.v]});
+        continue;
+      }
+      if (target == p.assign[top.v]) continue;
+      if (load[target] + hg.vertex_weight(top.v) > limit) continue;
+
+      const PartId from = p.assign[top.v];
+      apply(top.v, from, target);
+      locked[top.v] = 1;
+      log.push_back({top.v, from, target});
+      cum += gain;
+      if (cum > best_cum) {
+        best_cum = cum;
+        best_prefix = log.size();
+      }
+      if (cum < best_cum - kMaxExcursion) break;
+
+      // Refresh pins of nets the move made (or un-made) critical: gains
+      // change only when Φ(e,from) fell to 0/1 or Φ(e,to) rose to 1/2.
+      for (NetId e : hg.nets(top.v)) {
+        const std::uint32_t* row = phi.data() + std::size_t{e} * k;
+        if (row[from] > 1 && row[target] > 2) continue;
+        for (VertexId u : hg.pins(e)) {
+          if (locked[u] || u == top.v) continue;
+          ++stamp[u];
+          const auto [ngain, npart] = best_move(u);
+          if (npart != p.assign[u]) buckets.push(ngain, {u, stamp[u]});
+        }
+      }
+    }
+
+    // Roll back to the best cumulative-gain prefix.
+    for (std::size_t i = log.size(); i-- > best_prefix;) {
+      apply(log[i].v, log[i].to, log[i].from);
+    }
+    res.moves += best_prefix;
+    res.lambda_after -= static_cast<std::uint64_t>(best_cum);
+
+    PLS_CHECK_MSG(res.lambda_after == connectivity_minus_one(hg, p),
+                  "FM bookkeeping diverged from the λ−1 metric");
+    if (best_cum == 0) break;  // pass found no improvement: converged
+  }
+
+  PLS_CHECK_MSG(res.lambda_after <= res.lambda_before,
+                "hypergraph FM increased λ−1");
+  return res;
+}
+
+}  // namespace pls::hypergraph

@@ -1,0 +1,46 @@
+#pragma once
+// k-way FM refinement on the connectivity-1 (λ−1) objective.
+//
+// The mover maintains, for every net, the number of its pins in each part
+// (the Φ(e,q) table).  Moving v from part a to part b changes λ−1 by
+//   Σ_{e ∋ v}  w(e) · ( [Φ(e,a)==1]  −  [Φ(e,b)==0] )
+// — a net gains when v is its last pin in a (part a leaves the net's span)
+// and loses when v is its first pin in b.  This is the exact objective the
+// Time Warp layer pays per signal transition, unlike graph refinement
+// which optimizes the symmetrized-clique proxy.
+//
+// Moves are selected from gain buckets (an array of vectors indexed by
+// gain, with lazy invalidation stamps), FM-style: zero- and negative-gain
+// moves are allowed during a pass, each pass keeps a move log and rolls
+// back to the best cumulative-gain prefix, and every moved vertex is
+// locked for the rest of the pass.  Committed passes therefore never
+// increase λ−1 and always respect the balance limit.
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.hpp"
+#include "partition/partition.hpp"
+
+namespace pls::hypergraph {
+
+// Refinement is fully deterministic (vertices enter the buckets in index
+// order and ties break on load), so there is no seed knob.
+struct HgRefineOptions {
+  /// A move is feasible only if the destination stays at or below
+  /// ceil(W/k)·(1+balance_tol).
+  double balance_tol = 0.10;
+  std::uint32_t max_iters = 8;
+};
+
+struct HgRefineResult {
+  std::uint64_t moves = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t lambda_before = 0;  ///< λ−1 volume entering refinement
+  std::uint64_t lambda_after = 0;
+};
+
+/// Refine `p` in place.  Never increases connectivity_minus_one(hg, p).
+HgRefineResult refine_fm(const Hypergraph& hg, partition::Partition& p,
+                         const HgRefineOptions& opt);
+
+}  // namespace pls::hypergraph

@@ -71,6 +71,21 @@ TEST(BenchParser, CommentsAndBlankLinesIgnored) {
   EXPECT_EQ(c.size(), 2u);
 }
 
+TEST(BenchParser, CrlfLineEndingsParse) {
+  // ISCAS archives ship DOS-format files; every '\n' becomes "\r\n" and
+  // the stray '\r' must not end up inside signal names or keywords.
+  std::string crlf(kS27);
+  std::string::size_type pos = 0;
+  while ((pos = crlf.find('\n', pos)) != std::string::npos) {
+    crlf.replace(pos, 1, "\r\n");
+    pos += 2;
+  }
+  const Circuit c = parse_bench_string(crlf, "s27crlf");
+  EXPECT_EQ(c.primary_inputs().size(), 4u);
+  EXPECT_EQ(c.num_combinational(), 10u);
+  EXPECT_NE(c.find("G17"), kInvalidGate);  // no "G17\r" ghost signal
+}
+
 TEST(BenchParser, UndefinedSignalFails) {
   EXPECT_THROW(parse_bench_string("INPUT(a)\ng = AND(a, ghost)\n"),
                BenchParseError);
@@ -118,6 +133,18 @@ TEST(BenchParser, ErrorCarriesLineNumber) {
     FAIL() << "expected BenchParseError";
   } catch (const BenchParseError& e) {
     EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(BenchParser, UnknownGateTypeErrorNamesLineAndGate) {
+  try {
+    parse_bench_string("INPUT(a)\ng = NOT(a)\nbad = FROB(g)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("FROB"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'bad'"), std::string::npos);
   }
 }
 

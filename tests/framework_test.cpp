@@ -20,16 +20,26 @@ circuit::Circuit small_circuit() {
   return circuit::generate(spec);
 }
 
-TEST(Registry, ExposesThePaperSixStrategies) {
+TEST(Registry, ExposesThePaperSixStrategiesPlusHypergraph) {
   const auto& names = partitioner_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 7u);
   EXPECT_EQ(names[0], "Random");
   EXPECT_EQ(names[4], "Multilevel");
-  for (const auto& name : names) {
+  EXPECT_EQ(names[6], "MultilevelHG");
+}
+
+TEST(Registry, NamesStayInSyncWithFactory) {
+  // Smoke test guarding the listing/factory pair: every advertised name
+  // must instantiate to a partitioner reporting that exact name, and
+  // anything else must throw.  Catches a strategy added to one side only.
+  for (const auto& name : partitioner_names()) {
     const auto p = make_partitioner(name);
-    ASSERT_NE(p, nullptr);
+    ASSERT_NE(p, nullptr) << name;
     EXPECT_EQ(p->name(), name);
   }
+  EXPECT_THROW(make_partitioner("NoSuchStrategy"), util::CheckError);
+  EXPECT_THROW(make_partitioner(""), util::CheckError);
+  EXPECT_THROW(make_partitioner("multilevelhg"), util::CheckError);  // exact
 }
 
 TEST(Registry, ConeAliasWorks) {

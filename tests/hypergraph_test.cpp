@@ -1,0 +1,285 @@
+// Tests for the hypergraph subsystem: CSR construction and pin-count
+// invariants, the λ−1 ≡ comm_volume equivalence, metric inequalities, the
+// coarsening hierarchy, FM refinement, and the MultilevelHG partitioner.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/generator.hpp"
+#include "framework/registry.hpp"
+#include "hypergraph/coarsen.hpp"
+#include "hypergraph/initial.hpp"
+#include "hypergraph/metrics.hpp"
+#include "hypergraph/multilevel_hg_partitioner.hpp"
+#include "hypergraph/refine.hpp"
+#include "partition/metrics.hpp"
+#include "partition/multilevel_partitioner.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::hypergraph {
+namespace {
+
+circuit::Circuit test_circuit(std::size_t gates = 1200,
+                              std::uint64_t seed = 31) {
+  circuit::GeneratorSpec spec;
+  spec.num_comb_gates = gates;
+  spec.num_inputs = 32;
+  spec.num_outputs = 16;
+  spec.num_dffs = gates / 16;
+  spec.seed = seed;
+  return circuit::generate(spec);
+}
+
+partition::Partition random_partition(std::size_t n, std::uint32_t k,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  partition::Partition p;
+  p.k = k;
+  p.assign.resize(n);
+  for (auto& a : p.assign) {
+    a = static_cast<partition::PartId>(rng.below(k));
+  }
+  return p;
+}
+
+// ----- construction ----------------------------------------------------
+
+TEST(Hypergraph, FromCircuitPinCountInvariants) {
+  const auto c = test_circuit();
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+
+  EXPECT_EQ(hg.num_vertices(), c.size());
+  // One net per gate with >=1 distinct non-self fanout; never more nets
+  // than gates.
+  EXPECT_LE(hg.num_nets(), c.size());
+  EXPECT_GT(hg.num_nets(), 0u);
+
+  std::size_t pin_total = 0;
+  for (NetId e = 0; e < hg.num_nets(); ++e) {
+    const auto pins = hg.pins(e);
+    // Every net has >=2 pins (driver + at least one sink), sorted and
+    // duplicate-free, all in range.
+    EXPECT_GE(pins.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(pins.begin(), pins.end()));
+    EXPECT_TRUE(std::adjacent_find(pins.begin(), pins.end()) == pins.end());
+    for (VertexId v : pins) EXPECT_LT(v, hg.num_vertices());
+    pin_total += pins.size();
+  }
+  EXPECT_EQ(pin_total, hg.num_pins());
+
+  // The vertex→net incidence is the exact transpose of net→pins.
+  std::size_t incidence_total = 0;
+  for (VertexId v = 0; v < hg.num_vertices(); ++v) {
+    for (NetId e : hg.nets(v)) {
+      const auto pins = hg.pins(e);
+      EXPECT_TRUE(std::binary_search(pins.begin(), pins.end(), v));
+    }
+    incidence_total += hg.nets(v).size();
+  }
+  EXPECT_EQ(incidence_total, hg.num_pins());
+
+  // Unit gate weights.
+  EXPECT_EQ(hg.total_vertex_weight(), c.size());
+}
+
+TEST(Hypergraph, ExplicitConstructorMergesAndDrops) {
+  // Net {0,0,1} has a duplicate pin; net {2} is single-pin and dropped.
+  const Hypergraph hg({1, 1, 1}, {{0, 0, 1}, {2}, {1, 2}}, {5, 7, 9});
+  EXPECT_EQ(hg.num_nets(), 2u);
+  EXPECT_EQ(hg.pins(0).size(), 2u);
+  EXPECT_EQ(hg.net_weight(0), 5u);
+  EXPECT_EQ(hg.net_weight(1), 9u);
+  EXPECT_EQ(hg.weighted_degree(1), 14u);  // nets 0 and 1
+}
+
+// ----- metrics ---------------------------------------------------------
+
+TEST(HgMetrics, LambdaMinusOneEqualsCommVolume) {
+  // The driver gate is a pin of its own fanout net, so λ(e)−1 counts
+  // exactly the foreign parts the driver messages: the hypergraph λ−1
+  // must equal partition::comm_volume for ANY partition.
+  for (std::uint64_t cseed : {31ULL, 77ULL}) {
+    const auto c = test_circuit(800, cseed);
+    const Hypergraph hg = Hypergraph::from_circuit(c);
+    for (std::uint32_t k : {2u, 3u, 8u}) {
+      for (std::uint64_t pseed = 0; pseed < 4; ++pseed) {
+        const auto p = random_partition(c.size(), k, pseed);
+        EXPECT_EQ(connectivity_minus_one(hg, p),
+                  partition::comm_volume(c, p))
+            << "cseed=" << cseed << " k=" << k << " pseed=" << pseed;
+      }
+    }
+  }
+}
+
+TEST(HgMetrics, LambdaMinusOneEqualsCommVolumeForAllStrategies) {
+  const auto c = test_circuit(600, 5);
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+  for (const auto& name : framework::partitioner_names()) {
+    const auto p = framework::make_partitioner(name)->run(c, 4, 9);
+    EXPECT_EQ(connectivity_minus_one(hg, p), partition::comm_volume(c, p))
+        << name;
+  }
+}
+
+TEST(HgMetrics, CutNetLambdaSandwich) {
+  // For every partition: cut_net <= λ−1 <= (k−1)·cut_net.
+  const auto c = test_circuit(700, 13);
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    for (std::uint64_t pseed = 0; pseed < 4; ++pseed) {
+      const auto p = random_partition(c.size(), k, pseed);
+      const auto cn = cut_net(hg, p);
+      const auto lm = connectivity_minus_one(hg, p);
+      EXPECT_LE(cn, lm);
+      EXPECT_LE(lm, static_cast<std::uint64_t>(k - 1) * cn);
+    }
+  }
+}
+
+TEST(HgMetrics, SinglePartIsUncut) {
+  const auto c = test_circuit(300, 2);
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+  partition::Partition p;
+  p.k = 1;
+  p.assign.assign(c.size(), 0);
+  EXPECT_EQ(cut_net(hg, p), 0u);
+  EXPECT_EQ(connectivity_minus_one(hg, p), 0u);
+  EXPECT_DOUBLE_EQ(imbalance(hg, p), 1.0);
+}
+
+TEST(HgMetrics, InvalidPartitionRejected) {
+  const auto c = test_circuit(300, 2);
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+  partition::Partition bad;
+  bad.k = 2;
+  bad.assign.assign(c.size(), 5);  // part out of range
+  EXPECT_THROW(cut_net(hg, bad), util::CheckError);
+  EXPECT_THROW(connectivity_minus_one(hg, bad), util::CheckError);
+}
+
+// ----- coarsening ------------------------------------------------------
+
+TEST(HgCoarsen, HierarchyInvariantsHold) {
+  const auto c = test_circuit();
+  HgCoarsenOptions opt;
+  opt.threshold = 64;
+  opt.seed = 3;
+  opt.max_globule_weight = c.size() / 8;
+  const HgHierarchy h = coarsen(c, opt);
+  ASSERT_GE(h.levels.size(), 2u);
+  check_hg_hierarchy_invariants(h);
+  // Strictly shrinking levels, down to (or near) the threshold.
+  std::size_t prev = h.base.num_vertices();
+  for (const auto& lvl : h.levels) {
+    EXPECT_LT(lvl.hg.num_vertices(), prev);
+    prev = lvl.hg.num_vertices();
+  }
+}
+
+TEST(HgCoarsen, GlobuleWeightCapRespected) {
+  const auto c = test_circuit(2000, 7);
+  HgCoarsenOptions opt;
+  opt.threshold = 32;
+  opt.max_globule_weight = 40;
+  const HgHierarchy h = coarsen(c, opt);
+  for (const auto& lvl : h.levels) {
+    for (VertexId v = 0; v < lvl.hg.num_vertices(); ++v) {
+      EXPECT_LE(lvl.hg.vertex_weight(v), 40u);
+    }
+  }
+}
+
+// ----- refinement ------------------------------------------------------
+
+TEST(HgRefine, NeverIncreasesLambdaAndRespectsBalance) {
+  const auto c = test_circuit(900, 11);
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+  for (std::uint32_t k : {2u, 4u, 8u}) {
+    auto p = random_partition(c.size(), k, 17);
+    const auto before = connectivity_minus_one(hg, p);
+    HgRefineOptions opt;
+    opt.balance_tol = 0.05;
+    const HgRefineResult r = refine_fm(hg, p, opt);
+    EXPECT_EQ(r.lambda_before, before);
+    EXPECT_EQ(r.lambda_after, connectivity_minus_one(hg, p));
+    EXPECT_LE(r.lambda_after, r.lambda_before);
+    // Random partitions are far from optimal: FM must find real gains.
+    EXPECT_LT(r.lambda_after, before);
+    EXPECT_LE(imbalance(hg, p), 1.06);
+  }
+}
+
+// ----- the full partitioner --------------------------------------------
+
+TEST(MultilevelHG, ValidBalancedPartition) {
+  const auto c = test_circuit();
+  const auto p = MultilevelHGPartitioner().run(c, 8, 1);
+  p.validate(c.size());
+  EXPECT_LE(partition::imbalance(c, p), 1.04);
+  for (auto l : p.loads()) EXPECT_GT(l, 0u);
+}
+
+TEST(MultilevelHG, DeterministicBySeed) {
+  const auto c = test_circuit();
+  EXPECT_EQ(MultilevelHGPartitioner().run(c, 4, 9).assign,
+            MultilevelHGPartitioner().run(c, 4, 9).assign);
+  EXPECT_NE(MultilevelHGPartitioner().run(c, 4, 9).assign,
+            MultilevelHGPartitioner().run(c, 4, 10).assign);
+}
+
+TEST(MultilevelHG, TraceShowsThreePhases) {
+  const auto c = test_circuit();
+  MultilevelHGTrace trace;
+  const auto p = MultilevelHGPartitioner().run_traced(c, 4, 1, &trace);
+  p.validate(c.size());
+  ASSERT_GE(trace.level_sizes.size(), 1u);
+  for (std::size_t i = 1; i < trace.level_sizes.size(); ++i) {
+    EXPECT_LT(trace.level_sizes[i], trace.level_sizes[i - 1]);
+  }
+  EXPECT_EQ(trace.lambda_after_level.size(), trace.level_sizes.size() + 1);
+  EXPECT_EQ(trace.final_lambda, trace.lambda_after_level.back());
+  EXPECT_LE(trace.lambda_after_level.front(), trace.initial_lambda);
+}
+
+TEST(MultilevelHG, TinyCircuitBelowThreshold) {
+  circuit::GeneratorSpec spec;
+  spec.num_comb_gates = 30;
+  spec.num_inputs = 4;
+  spec.num_outputs = 2;
+  spec.num_dffs = 2;
+  const auto c = circuit::generate(spec);
+  const auto p = MultilevelHGPartitioner().run(c, 2, 1);
+  p.validate(c.size());
+}
+
+TEST(MultilevelHG, BeatsGraphMultilevelOnLambda) {
+  // The PR's acceptance criterion: on a >=10k-gate circuit at k=8 and
+  // equal imbalance tolerance, optimizing λ−1 directly must reach a λ−1
+  // volume no worse than the graph pipeline's (empirically ~2x better;
+  // asserted with headroom so legal seed-to-seed variation can't flake).
+  const auto c = circuit::make_iscas_like("s15850", 2000);
+  ASSERT_GE(c.size(), 10000u);
+  const Hypergraph hg = Hypergraph::from_circuit(c);
+  const auto graph_p = partition::MultilevelPartitioner().run(c, 8, 1);
+  const auto hg_p = MultilevelHGPartitioner().run(c, 8, 1);
+  // Both pipelines run at the same default 3% tolerance.
+  EXPECT_LE(partition::imbalance(c, hg_p), 1.04);
+  EXPECT_LE(partition::imbalance(c, graph_p), 1.04);
+  EXPECT_LE(connectivity_minus_one(hg, hg_p),
+            connectivity_minus_one(hg, graph_p));
+}
+
+TEST(MultilevelHG, RegisteredInFrameworkRegistry) {
+  const auto& names = framework::partitioner_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "MultilevelHG"),
+            names.end());
+  const auto p = framework::make_partitioner("MultilevelHG");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name(), "MultilevelHG");
+}
+
+}  // namespace
+}  // namespace pls::hypergraph
