@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coarsening_ablation.dir/bench/bench_coarsening_ablation.cpp.o"
+  "CMakeFiles/bench_coarsening_ablation.dir/bench/bench_coarsening_ablation.cpp.o.d"
+  "bench_coarsening_ablation"
+  "bench_coarsening_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coarsening_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_coarsening_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_execution_time.dir/bench/bench_fig4_execution_time.cpp.o"
+  "CMakeFiles/bench_fig4_execution_time.dir/bench/bench_fig4_execution_time.cpp.o.d"
+  "bench_fig4_execution_time"
+  "bench_fig4_execution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_messaging.dir/bench/bench_fig5_messaging.cpp.o"
+  "CMakeFiles/bench_fig5_messaging.dir/bench/bench_fig5_messaging.cpp.o.d"
+  "bench_fig5_messaging"
+  "bench_fig5_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

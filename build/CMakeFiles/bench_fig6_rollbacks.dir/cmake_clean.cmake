@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rollbacks.dir/bench/bench_fig6_rollbacks.cpp.o"
+  "CMakeFiles/bench_fig6_rollbacks.dir/bench/bench_fig6_rollbacks.cpp.o.d"
+  "bench_fig6_rollbacks"
+  "bench_fig6_rollbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rollbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refinement_ablation.dir/bench/bench_refinement_ablation.cpp.o"
+  "CMakeFiles/bench_refinement_ablation.dir/bench/bench_refinement_ablation.cpp.o.d"
+  "bench_refinement_ablation"
+  "bench_refinement_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refinement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

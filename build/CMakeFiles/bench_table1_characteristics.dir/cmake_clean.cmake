@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_characteristics.dir/bench/bench_table1_characteristics.cpp.o"
+  "CMakeFiles/bench_table1_characteristics.dir/bench/bench_table1_characteristics.cpp.o.d"
+  "bench_table1_characteristics"
+  "bench_table1_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_simulation_time.dir/bench/bench_table2_simulation_time.cpp.o"
+  "CMakeFiles/bench_table2_simulation_time.dir/bench/bench_table2_simulation_time.cpp.o.d"
+  "bench_table2_simulation_time"
+  "bench_table2_simulation_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_simulation_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

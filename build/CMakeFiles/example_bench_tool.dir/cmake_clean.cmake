@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bench_tool.dir/examples/bench_tool.cpp.o"
+  "CMakeFiles/example_bench_tool.dir/examples/bench_tool.cpp.o.d"
+  "example_bench_tool"
+  "example_bench_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bench_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_circuit.dir/examples/custom_circuit.cpp.o"
+  "CMakeFiles/example_custom_circuit.dir/examples/custom_circuit.cpp.o.d"
+  "example_custom_circuit"
+  "example_custom_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

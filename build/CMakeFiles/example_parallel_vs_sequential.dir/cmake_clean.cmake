@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_vs_sequential.dir/examples/parallel_vs_sequential.cpp.o"
+  "CMakeFiles/example_parallel_vs_sequential.dir/examples/parallel_vs_sequential.cpp.o.d"
+  "example_parallel_vs_sequential"
+  "example_parallel_vs_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_parallel_vs_sequential.
+# This may be replaced when dependencies are built.

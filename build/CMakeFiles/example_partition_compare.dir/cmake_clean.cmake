@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_partition_compare.dir/examples/partition_compare.cpp.o"
+  "CMakeFiles/example_partition_compare.dir/examples/partition_compare.cpp.o.d"
+  "example_partition_compare"
+  "example_partition_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_partition_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/bench_io.cpp" "CMakeFiles/pls.dir/src/circuit/bench_io.cpp.o" "gcc" "CMakeFiles/pls.dir/src/circuit/bench_io.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "CMakeFiles/pls.dir/src/circuit/circuit.cpp.o" "gcc" "CMakeFiles/pls.dir/src/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/circuit_stats.cpp" "CMakeFiles/pls.dir/src/circuit/circuit_stats.cpp.o" "gcc" "CMakeFiles/pls.dir/src/circuit/circuit_stats.cpp.o.d"
+  "/root/repo/src/circuit/cones.cpp" "CMakeFiles/pls.dir/src/circuit/cones.cpp.o" "gcc" "CMakeFiles/pls.dir/src/circuit/cones.cpp.o.d"
+  "/root/repo/src/circuit/generator.cpp" "CMakeFiles/pls.dir/src/circuit/generator.cpp.o" "gcc" "CMakeFiles/pls.dir/src/circuit/generator.cpp.o.d"
+  "/root/repo/src/circuit/levelize.cpp" "CMakeFiles/pls.dir/src/circuit/levelize.cpp.o" "gcc" "CMakeFiles/pls.dir/src/circuit/levelize.cpp.o.d"
+  "/root/repo/src/framework/driver.cpp" "CMakeFiles/pls.dir/src/framework/driver.cpp.o" "gcc" "CMakeFiles/pls.dir/src/framework/driver.cpp.o.d"
+  "/root/repo/src/framework/registry.cpp" "CMakeFiles/pls.dir/src/framework/registry.cpp.o" "gcc" "CMakeFiles/pls.dir/src/framework/registry.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "CMakeFiles/pls.dir/src/graph/weighted_graph.cpp.o" "gcc" "CMakeFiles/pls.dir/src/graph/weighted_graph.cpp.o.d"
+  "/root/repo/src/hypergraph/coarsen.cpp" "CMakeFiles/pls.dir/src/hypergraph/coarsen.cpp.o" "gcc" "CMakeFiles/pls.dir/src/hypergraph/coarsen.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "CMakeFiles/pls.dir/src/hypergraph/hypergraph.cpp.o" "gcc" "CMakeFiles/pls.dir/src/hypergraph/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/initial.cpp" "CMakeFiles/pls.dir/src/hypergraph/initial.cpp.o" "gcc" "CMakeFiles/pls.dir/src/hypergraph/initial.cpp.o.d"
+  "/root/repo/src/hypergraph/metrics.cpp" "CMakeFiles/pls.dir/src/hypergraph/metrics.cpp.o" "gcc" "CMakeFiles/pls.dir/src/hypergraph/metrics.cpp.o.d"
+  "/root/repo/src/hypergraph/multilevel_hg_partitioner.cpp" "CMakeFiles/pls.dir/src/hypergraph/multilevel_hg_partitioner.cpp.o" "gcc" "CMakeFiles/pls.dir/src/hypergraph/multilevel_hg_partitioner.cpp.o.d"
+  "/root/repo/src/hypergraph/refine.cpp" "CMakeFiles/pls.dir/src/hypergraph/refine.cpp.o" "gcc" "CMakeFiles/pls.dir/src/hypergraph/refine.cpp.o.d"
+  "/root/repo/src/logicsim/activity.cpp" "CMakeFiles/pls.dir/src/logicsim/activity.cpp.o" "gcc" "CMakeFiles/pls.dir/src/logicsim/activity.cpp.o.d"
+  "/root/repo/src/logicsim/equivalence.cpp" "CMakeFiles/pls.dir/src/logicsim/equivalence.cpp.o" "gcc" "CMakeFiles/pls.dir/src/logicsim/equivalence.cpp.o.d"
+  "/root/repo/src/logicsim/netlist_lps.cpp" "CMakeFiles/pls.dir/src/logicsim/netlist_lps.cpp.o" "gcc" "CMakeFiles/pls.dir/src/logicsim/netlist_lps.cpp.o.d"
+  "/root/repo/src/logicsim/sequential.cpp" "CMakeFiles/pls.dir/src/logicsim/sequential.cpp.o" "gcc" "CMakeFiles/pls.dir/src/logicsim/sequential.cpp.o.d"
+  "/root/repo/src/partition/coarsen.cpp" "CMakeFiles/pls.dir/src/partition/coarsen.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/coarsen.cpp.o.d"
+  "/root/repo/src/partition/cone_partitioner.cpp" "CMakeFiles/pls.dir/src/partition/cone_partitioner.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/cone_partitioner.cpp.o.d"
+  "/root/repo/src/partition/initial.cpp" "CMakeFiles/pls.dir/src/partition/initial.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/initial.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "CMakeFiles/pls.dir/src/partition/metrics.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/metrics.cpp.o.d"
+  "/root/repo/src/partition/multilevel_partitioner.cpp" "CMakeFiles/pls.dir/src/partition/multilevel_partitioner.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/multilevel_partitioner.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "CMakeFiles/pls.dir/src/partition/partition.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/random_partitioner.cpp" "CMakeFiles/pls.dir/src/partition/random_partitioner.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/random_partitioner.cpp.o.d"
+  "/root/repo/src/partition/refine_fm.cpp" "CMakeFiles/pls.dir/src/partition/refine_fm.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/refine_fm.cpp.o.d"
+  "/root/repo/src/partition/refine_greedy.cpp" "CMakeFiles/pls.dir/src/partition/refine_greedy.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/refine_greedy.cpp.o.d"
+  "/root/repo/src/partition/refine_kl.cpp" "CMakeFiles/pls.dir/src/partition/refine_kl.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/refine_kl.cpp.o.d"
+  "/root/repo/src/partition/topological_partitioner.cpp" "CMakeFiles/pls.dir/src/partition/topological_partitioner.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/topological_partitioner.cpp.o.d"
+  "/root/repo/src/partition/traversal_partitioners.cpp" "CMakeFiles/pls.dir/src/partition/traversal_partitioners.cpp.o" "gcc" "CMakeFiles/pls.dir/src/partition/traversal_partitioners.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/pls.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/pls.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/pls.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/pls.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/pls.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/pls.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/pls.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/pls.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/pls.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/pls.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "CMakeFiles/pls.dir/src/util/timer.cpp.o" "gcc" "CMakeFiles/pls.dir/src/util/timer.cpp.o.d"
+  "/root/repo/src/warped/kernel.cpp" "CMakeFiles/pls.dir/src/warped/kernel.cpp.o" "gcc" "CMakeFiles/pls.dir/src/warped/kernel.cpp.o.d"
+  "/root/repo/src/warped/lp_runtime.cpp" "CMakeFiles/pls.dir/src/warped/lp_runtime.cpp.o" "gcc" "CMakeFiles/pls.dir/src/warped/lp_runtime.cpp.o.d"
+  "/root/repo/src/warped/stats.cpp" "CMakeFiles/pls.dir/src/warped/stats.cpp.o" "gcc" "CMakeFiles/pls.dir/src/warped/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/pls_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libpls_bench_common.a"
+  "libpls_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

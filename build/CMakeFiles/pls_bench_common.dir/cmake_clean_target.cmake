@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpls_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsen_test.dir/coarsen_test.cpp.o"
+  "CMakeFiles/coarsen_test.dir/coarsen_test.cpp.o.d"
+  "coarsen_test"
+  "coarsen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levelize_cones_test.dir/levelize_cones_test.cpp.o"
+  "CMakeFiles/levelize_cones_test.dir/levelize_cones_test.cpp.o.d"
+  "levelize_cones_test"
+  "levelize_cones_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levelize_cones_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logicsim_test.dir/logicsim_test.cpp.o"
+  "CMakeFiles/logicsim_test.dir/logicsim_test.cpp.o.d"
+  "logicsim_test"
+  "logicsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logicsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

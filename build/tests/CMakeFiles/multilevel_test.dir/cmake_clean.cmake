@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_test.dir/multilevel_test.cpp.o"
+  "CMakeFiles/multilevel_test.dir/multilevel_test.cpp.o.d"
+  "multilevel_test"
+  "multilevel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_baselines_test.dir/partition_baselines_test.cpp.o"
+  "CMakeFiles/partition_baselines_test.dir/partition_baselines_test.cpp.o.d"
+  "partition_baselines_test"
+  "partition_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_kernel_matrix_test.dir/warped_kernel_matrix_test.cpp.o"
+  "CMakeFiles/warped_kernel_matrix_test.dir/warped_kernel_matrix_test.cpp.o.d"
+  "warped_kernel_matrix_test"
+  "warped_kernel_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_kernel_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

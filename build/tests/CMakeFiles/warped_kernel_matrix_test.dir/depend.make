@@ -1,0 +1,2 @@
+# Empty dependencies file for warped_kernel_matrix_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_lp_runtime_test.dir/warped_lp_runtime_test.cpp.o"
+  "CMakeFiles/warped_lp_runtime_test.dir/warped_lp_runtime_test.cpp.o.d"
+  "warped_lp_runtime_test"
+  "warped_lp_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_lp_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
