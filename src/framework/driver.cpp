@@ -61,6 +61,7 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
   kc.state_period = cfg.state_period;
   kc.optimism_window = cfg.optimism_window;
   kc.max_live_entries_per_node = cfg.max_live_entries_per_node;
+  kc.watchdog_timeout_ms = cfg.watchdog_timeout_ms;
 
   warped::Kernel kernel(model.behaviours(), res.partition.assign, kc);
   res.run = kernel.run();

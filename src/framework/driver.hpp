@@ -38,6 +38,7 @@ struct DriverConfig {
   std::uint32_t state_period = 1;
   warped::SimTime optimism_window = 0;
   std::size_t max_live_entries_per_node = 0;
+  std::uint64_t watchdog_timeout_ms = 30000;  ///< 0 disables the watchdog
 
   /// Run an activity pre-simulation and use activity-weighted coarsening
   /// (multilevel only; paper §6 extension).

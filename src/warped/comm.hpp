@@ -14,9 +14,14 @@
 //
 // A Mailbox is the receive endpoint of one node: senders append under a
 // mutex; the owner drains everything into its local holding heap and pops
-// entries as their delivery deadline passes.
+// entries as their delivery deadline passes.  Message transfer is atomic
+// (the push completes inside the sender's routing step), so "in transit"
+// for the GVT transient-message accounting (gvt.hpp) means exactly
+// "pushed but not yet drained"; every InFlight carries the GVT epoch its
+// sender was in at push time.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -35,7 +40,8 @@ struct NetworkModel {
 /// (relative to the kernel's epoch) has passed.
 struct InFlight {
   std::uint64_t deliver_at_ns = 0;
-  std::uint64_t seq = 0;  ///< FIFO tie-break for equal deadlines
+  std::uint64_t seq = 0;    ///< FIFO tie-break for equal deadlines
+  std::uint64_t epoch = 0;  ///< sender's GVT round at push (gvt.hpp color)
   Event event;
 
   friend bool operator>(const InFlight& a, const InFlight& b) noexcept {
@@ -50,26 +56,31 @@ struct InFlight {
 class Mailbox {
  public:
   void push(InFlight msg) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    box_.push_back(std::move(msg));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      box_.push_back(std::move(msg));
+    }
+    // Published after the push: a reader seeing size 0 may miss a message
+    // for one poll iteration, never forever.
+    approx_size_.fetch_add(1, std::memory_order_release);
   }
 
   /// Move everything out (the owner re-buffers not-yet-deliverable
-  /// messages in its holding heap).
-  void drain(std::vector<InFlight>& out) {
+  /// messages in its holding heap).  Returns the number drained.
+  std::size_t drain(std::vector<InFlight>& out) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (box_.empty()) return;
-    out.insert(out.end(), box_.begin(), box_.end());
-    box_.clear();
+    const std::size_t n = box_.size();
+    if (n != 0) {
+      out.insert(out.end(), box_.begin(), box_.end());
+      box_.clear();
+      approx_size_.fetch_sub(n, std::memory_order_relaxed);
+    }
+    return n;
   }
 
-  /// Minimum receive timestamp of queued messages (kEndOfTime if empty).
-  /// Used by the GVT computation while all node threads are quiescent.
-  SimTime min_recv_time() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    SimTime m = kEndOfTime;
-    for (const auto& f : box_) m = std::min(m, f.event.recv_time);
-    return m;
+  /// Lock-free idle-path check; may lag a concurrent push by one poll.
+  bool probably_empty() const noexcept {
+    return approx_size_.load(std::memory_order_acquire) == 0;
   }
 
   bool empty() {
@@ -80,11 +91,12 @@ class Mailbox {
  private:
   std::mutex mutex_;
   std::vector<InFlight> box_;
+  std::atomic<std::size_t> approx_size_{0};
 };
 
 /// Min-heap (by delivery deadline) of in-flight messages held at the
 /// receiver until their deadline passes.  Hand-rolled over a vector so the
-/// GVT computation can scan the live entries for their minimum receive
+/// GVT report can scan the live entries for their minimum receive
 /// timestamp (std::priority_queue hides its container).
 class HoldingHeap {
  public:
@@ -105,8 +117,13 @@ class HoldingHeap {
     return msg;
   }
 
+  /// Earliest delivery deadline (for idle-sleep bounding); 0 if empty.
+  std::uint64_t next_deadline_ns() const noexcept {
+    return heap_.empty() ? 0 : heap_.front().deliver_at_ns;
+  }
+
   /// Minimum receive timestamp over all held messages (kEndOfTime if
-  /// empty); exact, for the GVT reduction.
+  /// empty); exact, owner-thread only — feeds the owner's GVT report.
   SimTime min_recv_time() const noexcept {
     SimTime m = kEndOfTime;
     for (const auto& f : heap_) m = std::min(m, f.event.recv_time);

@@ -1,0 +1,193 @@
+#pragma once
+// Asynchronous Mattern-style GVT: colored (epoch-tagged) messages plus
+// cumulative per-epoch sent/received counters.
+//
+// The seed kernel computed GVT with a stop-the-world rendezvous on a
+// non-yielding spin barrier.  That is exact, but it couples every node
+// thread three times per GVT round; with more node threads than cores each
+// rendezvous burns whole scheduler timeslices and the simulation spends
+// essentially all its wall time parked (the "kernel hang" tracked in
+// ROADMAP.md since v0 — see src/warped/README.md for the autopsy).
+//
+// This coordinator removes the rendezvous entirely.  No thread ever waits
+// for another:
+//
+//  * The controller (node 0) starts round R by bumping `round_`.
+//  * Each node *joins* the round from its own main loop: it publishes the
+//    minimum receive time of all work it holds (scheduler + holding heap)
+//    and from then on tags outgoing inter-node messages with epoch R.
+//    Messages tagged with an epoch < R are "white" for round R (sent
+//    before the sender's cut), messages tagged R are "red" (after it).
+//  * Every node counts the messages it pushes and drains per epoch
+//    parity.  Round R is *complete* once (a) every node has joined and
+//    (b) the white counters balance: sum(sent, epoch R-1) ==
+//    sum(received, epoch R-1) — i.e. no white message is still sitting
+//    undrained in a mailbox.  Until then the controller simply retries on
+//    a later loop iteration; nobody blocks.
+//  * A white message drained *after* the receiver joined crossed the cut,
+//    so the receiver folds its receive time into `late_white_min`.
+//
+//    GVT(R) = min over nodes of (report_min, late_white_min).
+//
+// Soundness (Mattern '93, shared-memory specialisation): at each node's
+// join instant all of its pending work is >= its report_min.  Afterwards a
+// node only acquires work from (a) white messages — each folded into a
+// late_white_min before the round can complete — or (b) red messages,
+// which were produced by processing an event that was itself >= one of the
+// round's minima, and carry a strictly larger receive time.  By induction
+// over the (wall-clock) order of sends, nothing below GVT(R) can ever
+// exist again.  Transfer of a message is atomic here (a mutex-guarded
+// mailbox push), so "in transit" means exactly "pushed but not yet
+// drained", which is what the counters measure.
+//
+// Two cumulative counters per node indexed by epoch parity suffice: the
+// controller starts round R+1 only after round R completed, so epochs two
+// apart never have messages in flight simultaneously, and a fully drained
+// epoch contributes equally to both sides of its parity slot forever.
+// The per-slot drain invariant (a drained message's epoch is always
+// my_round or my_round±1) is checked in debug builds by the kernel.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/check.hpp"
+#include "warped/types.hpp"
+
+namespace pls::warped {
+
+class GvtCoordinator {
+ public:
+  explicit GvtCoordinator(std::uint32_t num_nodes) : num_nodes_(num_nodes) {
+    PLS_CHECK(num_nodes >= 1);
+    slots_ = std::make_unique<Slot[]>(num_nodes);
+  }
+
+  GvtCoordinator(const GvtCoordinator&) = delete;
+  GvtCoordinator& operator=(const GvtCoordinator&) = delete;
+
+  /// Current round id (0 = no round started yet; epoch 0 is the initial
+  /// color every node starts in).
+  std::uint64_t round() const noexcept {
+    return round_.load(std::memory_order_acquire);
+  }
+
+  // ---- node side ----------------------------------------------------------
+
+  /// Join `round`: publish the minimum receive time of everything this
+  /// node currently holds.  Must be called with the node's routing queue
+  /// empty (all owed sends already counted).  After this call the node
+  /// must tag its sends with epoch == `round`.
+  void join(std::uint32_t node, std::uint64_t round,
+            SimTime local_min) noexcept {
+    Slot& s = slots_[node];
+    s.late_white_min.store(kEndOfTime, std::memory_order_relaxed);
+    s.report_min.store(local_min, std::memory_order_relaxed);
+    s.joined_round.store(round, std::memory_order_release);
+  }
+
+  /// Account one inter-node message push.  Call *before* the mailbox push
+  /// so the received counter can never overtake the sent counter.
+  void count_send(std::uint32_t node, std::uint64_t epoch) noexcept {
+    slots_[node].sent[epoch & 1].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Account one mailbox drain at a node currently in `my_round`.  A
+  /// message older than the receiver's cut crossed it: fold its receive
+  /// time into the round's late-white minimum.
+  void count_drain(std::uint32_t node, std::uint64_t msg_epoch,
+                   std::uint64_t my_round, SimTime recv_time) noexcept {
+    Slot& s = slots_[node];
+    if (msg_epoch < my_round) {
+      const SimTime cur = s.late_white_min.load(std::memory_order_relaxed);
+      if (recv_time < cur) {
+        s.late_white_min.store(recv_time, std::memory_order_relaxed);
+      }
+    }
+    // Release pairs with the controller's acquire in whites_drained(): once
+    // the counters balance, every late_white_min update is visible too.
+    s.recvd[msg_epoch & 1].fetch_add(1, std::memory_order_release);
+  }
+
+  // ---- controller side ----------------------------------------------------
+
+  /// Start round `r` (must be the successor of the last completed round).
+  void start_round(std::uint64_t r) noexcept {
+    round_.store(r, std::memory_order_release);
+  }
+
+  /// True once every node has joined `round`.  After this returns true the
+  /// white sent-counters for the round are frozen (no node can tag epoch
+  /// round-1 any more).
+  bool all_joined(std::uint64_t round) const noexcept {
+    for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+      if (slots_[n].joined_round.load(std::memory_order_acquire) < round) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True once every white (epoch round-1) message has been drained by its
+  /// receiver.  Only meaningful after all_joined(round).
+  bool whites_drained(std::uint64_t round) const noexcept {
+    const std::size_t par = (round - 1) & 1;
+    std::uint64_t recvd = 0;
+    for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+      recvd += slots_[n].recvd[par].load(std::memory_order_acquire);
+    }
+    std::uint64_t sent = 0;
+    for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+      sent += slots_[n].sent[par].load(std::memory_order_relaxed);
+    }
+    return sent == recvd;
+  }
+
+  /// The round's GVT estimate; valid only after all_joined() &&
+  /// whites_drained() both returned true for `round`.
+  SimTime round_min() const noexcept {
+    SimTime m = kEndOfTime;
+    for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+      const Slot& s = slots_[n];
+      m = std::min(m, s.report_min.load(std::memory_order_relaxed));
+      m = std::min(m, s.late_white_min.load(std::memory_order_relaxed));
+    }
+    return m;
+  }
+
+  // ---- diagnostics (watchdog post-mortem; approximate under races) -------
+
+  std::uint64_t joined_round_of(std::uint32_t node) const noexcept {
+    return slots_[node].joined_round.load(std::memory_order_relaxed);
+  }
+  SimTime report_min_of(std::uint32_t node) const noexcept {
+    return slots_[node].report_min.load(std::memory_order_relaxed);
+  }
+  SimTime late_white_min_of(std::uint32_t node) const noexcept {
+    return slots_[node].late_white_min.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sent_of(std::uint32_t node, std::size_t parity) const noexcept {
+    return slots_[node].sent[parity & 1].load(std::memory_order_relaxed);
+  }
+  std::uint64_t recvd_of(std::uint32_t node,
+                         std::size_t parity) const noexcept {
+    return slots_[node].recvd[parity & 1].load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One cache line per node: joins and counter bumps are single-writer and
+  // must not false-share with a neighbour's.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> joined_round{0};
+    std::atomic<SimTime> report_min{kEndOfTime};
+    std::atomic<SimTime> late_white_min{kEndOfTime};
+    std::atomic<std::uint64_t> sent[2]{};   ///< cumulative, by epoch parity
+    std::atomic<std::uint64_t> recvd[2]{};  ///< cumulative, by epoch parity
+  };
+
+  const std::uint32_t num_nodes_;
+  std::atomic<std::uint64_t> round_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace pls::warped

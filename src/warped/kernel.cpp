@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <thread>
 
@@ -27,10 +28,19 @@ struct SchedEntry {
   }
 };
 
+/// Idle polls (with yield) before the loop starts napping instead of
+/// spinning.  Spinning reacts fastest while work is in flight; napping is
+/// what keeps an oversubscribed machine (more node threads than cores)
+/// from starving the thread that actually holds work.
+constexpr std::uint64_t kIdleSpinPolls = 64;
+/// Longest idle nap; bounds GVT-join and delivery latency.
+constexpr std::uint64_t kIdleNapNs = 20'000;
+
 }  // namespace
 
 /// Per-node state.  Only the owning thread touches anything here except
-/// `mailbox`, which is the node's multi-producer receive endpoint.
+/// `mailbox` (the node's multi-producer receive endpoint) and
+/// `exec_ticks` (read by the watchdog).
 struct Kernel::Cluster {
   std::uint32_t node = 0;
   std::vector<LpId> own_lps;
@@ -46,8 +56,16 @@ struct Kernel::Cluster {
   std::vector<Event> batch_scratch;
   std::uint64_t net_seq = 0;
 
+  // GVT round this node has joined (epoch color of its sends).
+  std::uint64_t my_round = 0;
+  // Last completed-round count this node fossil-collected for.
+  std::uint64_t last_fossil_round = 0;
+
+  std::uint64_t idle_streak = 0;
   NodeStats stats;
-  std::uint64_t last_gvt_trigger_ns = 0;
+
+  /// Watchdog progress counter (relaxed; owner increments per batch).
+  std::atomic<std::uint64_t> exec_ticks{0};
 
   void push_sched(SimTime t, LpId lp) {
     if (t != kEndOfTime) {
@@ -68,9 +86,16 @@ struct Kernel::Cluster {
     }
   }
 
-  SimTime sched_min(const std::vector<LpRuntime>& rts) {
-    clean_top(rts);
-    return sched.empty() ? kEndOfTime : sched.front().time;
+  /// GVT report contribution of this cluster's LPs.  Scans gvt_min_time()
+  /// rather than reading the scheduler heap: an LP coast-forwarding
+  /// through a replay window has pending batches *below* an already
+  /// published GVT whose re-execution is effect-free, and the heap is
+  /// keyed by the raw next_time the scheduler needs.  O(own LPs), once
+  /// per GVT round.
+  SimTime gvt_report_min(const std::vector<LpRuntime>& rts) const {
+    SimTime m = kEndOfTime;
+    for (LpId lp : own_lps) m = std::min(m, rts[lp].gvt_min_time());
+    return m;
   }
 };
 
@@ -127,7 +152,7 @@ class ClusterContext final : public Context {
 Kernel::Kernel(std::vector<LogicalProcess*> lps,
                std::vector<std::uint32_t> node_of, KernelConfig cfg)
     : lps_(std::move(lps)), node_of_(std::move(node_of)), cfg_(cfg),
-      barrier_(cfg.num_nodes), reported_min_(cfg.num_nodes, kEndOfTime) {
+      gvt_coord_(cfg.num_nodes) {
   PLS_CHECK(cfg_.num_nodes >= 1);
   PLS_CHECK_MSG(lps_.size() == node_of_.size(),
                 "node map size must equal LP count");
@@ -184,7 +209,8 @@ void Kernel::node_main(std::uint32_t node) {
 
   // Routes everything in cl.pending: local events are inserted (possibly
   // rolling their LP back, which enqueues cancellation antis right here);
-  // remote events pay the network model and land in the peer's mailbox.
+  // remote events pay the network model and land in the peer's mailbox,
+  // epoch-tagged and counted for the GVT transient-message accounting.
   auto route_pending = [&] {
     while (!cl.pending.empty()) {
       const Event ev = cl.pending.front();
@@ -211,29 +237,52 @@ void Kernel::node_main(std::uint32_t node) {
         InFlight f;
         f.deliver_at_ns = steady_now_ns() + latency;
         f.seq = cl.net_seq++;
+        f.epoch = cl.my_round;
         f.event = ev;
+        // Count before pushing: the receive counter must never overtake.
+        gvt_coord_.count_send(node, cl.my_round);
         clusters_[target_node]->mailbox.push(std::move(f));
       }
     }
   };
 
-  while (true) {
-    // --- GVT rendezvous -------------------------------------------------
-    if (gvt_requested_.load(std::memory_order_acquire)) {
-      if (gvt_round(node)) break;
+  while (!done_.load(std::memory_order_acquire) &&
+         !stalled_.load(std::memory_order_relaxed)) {
+    // --- GVT: join a newly started round (no rendezvous) -----------------
+    const std::uint64_t r = gvt_coord_.round();
+    if (r != cl.my_round) {
+      // cl.pending is empty here (route_pending ran to completion last
+      // iteration), so everything this node owes the world is in its LP
+      // queues or its holding heap — exactly what the report covers.
+      // Whites still in the mailbox are caught by the drain counters.
+      SimTime local = cl.gvt_report_min(runtimes_);
+      local = std::min(local, cl.holding.min_recv_time());
+      gvt_coord_.join(node, r, local);
+      cl.my_round = r;
     }
-    if (node == 0) {
-      const std::uint64_t now = steady_now_ns();
-      if (now - cl.last_gvt_trigger_ns >= cfg_.gvt_interval_us * 1000) {
-        cl.last_gvt_trigger_ns = now;
-        gvt_requested_.store(true, std::memory_order_release);
-      }
+    if (node == 0) controller_poll(steady_now_ns());
+
+    // --- fossil collection on newly completed rounds ---------------------
+    const std::uint64_t completed =
+        completed_rounds_.load(std::memory_order_acquire);
+    if (completed != cl.last_fossil_round) {
+      cl.last_fossil_round = completed;
+      fossil_round(cl);
     }
 
     // --- receive ----------------------------------------------------------
-    cl.drain_buf.clear();
-    cl.mailbox.drain(cl.drain_buf);
-    for (auto& f : cl.drain_buf) cl.holding.push(std::move(f));
+    if (!cl.mailbox.probably_empty()) {
+      cl.drain_buf.clear();
+      cl.mailbox.drain(cl.drain_buf);
+      for (auto& f : cl.drain_buf) {
+        // Rounds serialize, so a drained message is at most one epoch away
+        // from the receiver's color in either direction.
+        PLS_DCHECK(f.epoch + 1 >= cl.my_round && f.epoch <= cl.my_round + 1);
+        gvt_coord_.count_drain(node, f.epoch, cl.my_round,
+                               f.event.recv_time);
+        cl.holding.push(std::move(f));
+      }
+    }
     const std::uint64_t now_ns = steady_now_ns();
     while (!cl.holding.empty() && cl.holding.top().deliver_at_ns <= now_ns) {
       cl.pending.push_back(cl.holding.pop().event);
@@ -259,51 +308,93 @@ void Kernel::node_main(std::uint32_t node) {
         if (cfg_.event_cost_ns > 0) util::busy_spin_ns(cfg_.event_cost_ns);
         rt.commit_batch(t, cl.batch_scratch.size());
         cl.stats.events_processed += cl.batch_scratch.size();
+        cl.exec_ticks.fetch_add(1, std::memory_order_relaxed);
         cl.push_sched(rt.next_time(), top.lp);
         route_pending();
         executed = true;
       }
     }
-    if (!executed) {
+    if (executed) {
+      cl.idle_streak = 0;
+    } else {
       ++cl.stats.idle_polls;
-      // Nothing runnable: be polite to sibling hyperthreads but do not
-      // sleep — sub-microsecond reaction to incoming stragglers matters.
-      std::this_thread::yield();
+      if (++cl.idle_streak < kIdleSpinPolls) {
+        // Recently busy: stay reactive, just be polite to siblings.
+        std::this_thread::yield();
+      } else {
+        // Nothing runnable for a while: actually release the core so the
+        // thread that holds work can use it (critical when node threads
+        // outnumber cores).  Bound the nap by the next modeled-network
+        // delivery deadline so latency stays accurate.
+        std::uint64_t nap = kIdleNapNs;
+        const std::uint64_t deadline = cl.holding.next_deadline_ns();
+        if (deadline != 0) {
+          const std::uint64_t now2 = steady_now_ns();
+          nap = deadline > now2 ? std::min(nap, deadline - now2)
+                                : std::uint64_t{1000};
+        }
+        ++cl.stats.idle_sleeps;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(nap));
+      }
     }
   }
 }
 
-bool Kernel::gvt_round(std::uint32_t node) {
-  Cluster& cl = *clusters_[node];
-
-  // B1: every node thread is parked here, so no sends are in progress; all
-  // in-flight messages are physically inside mailboxes or holding heaps.
-  barrier_.arrive_and_wait();
-
-  SimTime local = cl.sched_min(runtimes_);
-  local = std::min(local, cl.holding.min_recv_time());
-  local = std::min(local, cl.mailbox.min_recv_time());
-  reported_min_[node] = local;
-
-  // B2: reductions visible; node 0 computes the new GVT.
-  barrier_.arrive_and_wait();
-  if (node == 0) {
-    SimTime g = kEndOfTime;
-    for (SimTime m : reported_min_) g = std::min(g, m);
-    gvt_.store(g, std::memory_order_release);
-    ++gvt_cycles_;
-    if (g == kEndOfTime || oom_.load(std::memory_order_relaxed)) {
-      done_.store(true, std::memory_order_release);
+void Kernel::controller_poll(std::uint64_t now_ns) {
+  // Complete the round in flight, if any.  Join-freeze first, then the
+  // white counters must balance (this order is what makes the counter
+  // comparison race-free: after every node joined, no epoch round-1
+  // message can ever be sent again).
+  if (ctrl_started_rounds_ >
+      completed_rounds_.load(std::memory_order_relaxed)) {
+    const std::uint64_t round = ctrl_started_rounds_;
+    if (gvt_coord_.all_joined(round) && gvt_coord_.whites_drained(round)) {
+      const SimTime g = gvt_coord_.round_min();
+      const SimTime prev = gvt_.load(std::memory_order_relaxed);
+#ifndef NDEBUG
+      if (g < prev) {
+        std::fprintf(stderr,
+                     "[gvt-debug] REGRESSION round=%llu g=%llu prev=%llu\n",
+                     (unsigned long long)round, (unsigned long long)g,
+                     (unsigned long long)prev);
+        for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+          std::fprintf(stderr,
+                       "[gvt-debug]  node %u joined=%llu report=%llu "
+                       "late_white=%llu\n",
+                       n, (unsigned long long)gvt_coord_.joined_round_of(n),
+                       (unsigned long long)gvt_coord_.report_min_of(n),
+                       (unsigned long long)gvt_coord_.late_white_min_of(n));
+        }
+        std::abort();
+      }
+#endif
+      gvt_.store(std::max(prev, g), std::memory_order_release);
+      completed_rounds_.fetch_add(1, std::memory_order_release);
+      if (g == kEndOfTime) {
+        done_.store(true, std::memory_order_release);
+      }
     }
-    gvt_requested_.store(false, std::memory_order_release);
   }
+  if (oom_.load(std::memory_order_relaxed)) {
+    done_.store(true, std::memory_order_release);
+  }
+  // Start the next round on the configured cadence.
+  if (ctrl_started_rounds_ ==
+          completed_rounds_.load(std::memory_order_relaxed) &&
+      !done_.load(std::memory_order_relaxed) &&
+      now_ns - ctrl_last_trigger_ns_ >= cfg_.gvt_interval_us * 1000) {
+    ctrl_last_trigger_ns_ = now_ns;
+    ++ctrl_started_rounds_;
+    gvt_coord_.start_round(ctrl_started_rounds_);
+  }
+}
 
-  // B3: everyone sees the new GVT / done flag; fossil-collect and go on.
-  barrier_.arrive_and_wait();
+void Kernel::fossil_round(Cluster& cl) {
   const SimTime g = gvt_.load(std::memory_order_acquire);
   std::size_t live = 0;
   for (LpId lp : cl.own_lps) {
-    cl.stats.events_committed += runtimes_[lp].fossil_collect(g).committed_events;
+    cl.stats.events_committed +=
+        runtimes_[lp].fossil_collect(g).committed_events;
     live += runtimes_[lp].live_entries();
   }
   cl.stats.peak_live_entries = std::max(cl.stats.peak_live_entries, live);
@@ -311,7 +402,117 @@ bool Kernel::gvt_round(std::uint32_t node) {
       live > cfg_.max_live_entries_per_node) {
     oom_.store(true, std::memory_order_relaxed);
   }
-  return done_.load(std::memory_order_acquire);
+}
+
+std::uint64_t Kernel::total_exec_ticks() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& cl : clusters_) {
+    sum += cl->exec_ticks.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Kernel::watchdog_main() {
+  const std::uint64_t timeout_ns = cfg_.watchdog_timeout_ms * 1'000'000ull;
+  SimTime last_gvt = gvt_.load(std::memory_order_relaxed);
+  std::uint64_t ticks_at_freeze = total_exec_ticks();
+  std::uint64_t last_change_ns = steady_now_ns();
+  while (!done_.load(std::memory_order_acquire) &&
+         !stalled_.load(std::memory_order_acquire)) {
+    // Short naps keep end-of-run teardown latency negligible.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const SimTime g = gvt_.load(std::memory_order_relaxed);
+    const std::uint64_t now = steady_now_ns();
+    if (g != last_gvt) {
+      last_gvt = g;
+      ticks_at_freeze = total_exec_ticks();
+      last_change_ns = now;
+    } else if (now - last_change_ns >= timeout_ns) {
+      // GVT frozen for the whole window.  A healthy run commits every
+      // round (the controller starts one each gvt_interval_us), so this
+      // catches both true deadlocks (nothing executing either) and
+      // rollback livelocks (execution churning with nothing committing —
+      // memory then grows without bound).  Node threads poll the flag
+      // and exit; run() dumps diagnostics from a single thread.
+      stall_ticks_wasted_ = total_exec_ticks() - ticks_at_freeze;
+      stalled_.store(true, std::memory_order_release);
+      break;
+    }
+  }
+}
+
+void Kernel::dump_stall_diagnostics() const {
+  if (stall_ticks_wasted_ == 0) {
+    std::fprintf(stderr,
+                 "\n[warped] WATCHDOG: DEADLOCK — no GVT advance and no "
+                 "execution for %llu ms, aborting run\n",
+                 static_cast<unsigned long long>(cfg_.watchdog_timeout_ms));
+  } else {
+    std::fprintf(stderr,
+                 "\n[warped] WATCHDOG: LIVELOCK — %llu batches executed "
+                 "but GVT frozen for %llu ms (rollback thrash?), aborting "
+                 "run\n",
+                 static_cast<unsigned long long>(stall_ticks_wasted_),
+                 static_cast<unsigned long long>(cfg_.watchdog_timeout_ms));
+  }
+  std::fprintf(stderr,
+               "[warped] gvt=%llu rounds started=%llu completed=%llu\n",
+               static_cast<unsigned long long>(
+                   gvt_.load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(ctrl_started_rounds_),
+               static_cast<unsigned long long>(
+                   completed_rounds_.load(std::memory_order_relaxed)));
+  for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+    const Cluster& cl = *clusters_[n];
+    std::fprintf(
+        stderr,
+        "[warped]   node %u: joined_round=%llu report_min=%llu "
+        "sent=%llu/%llu recvd=%llu/%llu processed=%llu rollbacks=%llu "
+        "pending=%zu holding=%zu\n",
+        n,
+        static_cast<unsigned long long>(gvt_coord_.joined_round_of(n)),
+        static_cast<unsigned long long>(gvt_coord_.report_min_of(n)),
+        static_cast<unsigned long long>(gvt_coord_.sent_of(n, 0)),
+        static_cast<unsigned long long>(gvt_coord_.sent_of(n, 1)),
+        static_cast<unsigned long long>(gvt_coord_.recvd_of(n, 0)),
+        static_cast<unsigned long long>(gvt_coord_.recvd_of(n, 1)),
+        static_cast<unsigned long long>(cl.stats.events_processed),
+        static_cast<unsigned long long>(cl.stats.primary_rollbacks +
+                                        cl.stats.secondary_rollbacks),
+        cl.pending.size(), cl.holding.size());
+  }
+  // The LPs holding the globally smallest pending work are where a stall
+  // lives; the heaviest rollback victims are why it got there.
+  LpId min_lp = kInvalidLp;
+  SimTime min_t = kEndOfTime;
+  LpId worst_lp = kInvalidLp;
+  std::uint64_t worst_rb = 0;
+  for (const auto& rt : runtimes_) {
+    if (rt.next_time() < min_t) {
+      min_t = rt.next_time();
+      min_lp = rt.id();
+    }
+    if (rt.rollbacks() >= worst_rb) {
+      worst_rb = rt.rollbacks();
+      worst_lp = rt.id();
+    }
+  }
+  if (min_lp != kInvalidLp) {
+    std::fprintf(stderr,
+                 "[warped]   earliest pending work: LP %u at t=%llu "
+                 "(node %u)\n",
+                 min_lp, static_cast<unsigned long long>(min_t),
+                 node_of_[min_lp]);
+  }
+  if (worst_lp != kInvalidLp) {
+    std::fprintf(stderr,
+                 "[warped]   most rolled-back LP: %u (%llu rollbacks, "
+                 "%llu events undone, node %u)\n",
+                 worst_lp, static_cast<unsigned long long>(worst_rb),
+                 static_cast<unsigned long long>(
+                     runtimes_[worst_lp].events_rolled_back()),
+                 node_of_[worst_lp]);
+  }
 }
 
 RunStats Kernel::run() {
@@ -320,7 +521,11 @@ RunStats Kernel::run() {
 
   util::WallTimer timer;
   init_all_lps();
-  epoch_origin_ns_.store(steady_now_ns(), std::memory_order_release);
+
+  std::thread watchdog;
+  if (cfg_.watchdog_timeout_ms > 0) {
+    watchdog = std::thread([this] { watchdog_main(); });
+  }
 
   if (cfg_.num_nodes == 1) {
     node_main(0);
@@ -332,13 +537,49 @@ RunStats Kernel::run() {
     }
     for (auto& t : threads) t.join();
   }
+  const double wall_seconds = timer.elapsed_seconds();
+  // Unblock the watchdog promptly even on a stalled/OOM exit.
+  done_.store(true, std::memory_order_release);
+  if (watchdog.joinable()) watchdog.join();
+
+  if (stalled_.load(std::memory_order_acquire)) dump_stall_diagnostics();
+
+  // A GVT == end-of-time round proves nothing *effectful* is pending, but
+  // an LP can still hold suppressed coast-forward batches (its state is a
+  // restored snapshot behind history whose outputs were never cancelled):
+  // done_ may be observed before the replay finished re-executing.  Drain
+  // them now, single-threaded, so final_states is the committed state.
+  // Skipped on abnormal exits, whose states are not meaningful anyway.
+  if (!stalled_.load(std::memory_order_acquire) &&
+      !oom_.load(std::memory_order_acquire)) {
+    std::deque<Event> sink;
+    std::vector<Event> scratch;
+    for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+      for (LpId lp : clusters_[n]->own_lps) {
+        LpRuntime& rt = runtimes_[lp];
+        while (rt.has_unprocessed()) {
+          const SimTime t = rt.begin_batch(scratch);
+          PLS_CHECK_MSG(rt.in_replay(t),
+                        "LP " << lp << " still holds an effectful event at "
+                              << t << " after termination (unsound GVT)");
+          ClusterContext ctx(t, cfg_.end_time, lp, &rt, &sink,
+                             /*suppress=*/true, /*init_mode=*/false);
+          rt.behavior()->execute(ctx, scratch);
+          rt.commit_batch(t, scratch.size());
+          clusters_[n]->stats.events_processed += scratch.size();
+        }
+      }
+    }
+    PLS_CHECK_MSG(sink.empty(), "suppressed replay produced a send");
+  }
 
   RunStats out;
   out.num_nodes = cfg_.num_nodes;
-  out.wall_seconds = timer.elapsed_seconds();
+  out.wall_seconds = wall_seconds;
   out.final_gvt = gvt_.load(std::memory_order_acquire);
-  out.gvt_cycles = gvt_cycles_;
+  out.gvt_cycles = completed_rounds_.load(std::memory_order_acquire);
   out.out_of_memory = oom_.load(std::memory_order_acquire);
+  out.stalled = stalled_.load(std::memory_order_acquire);
   out.per_node.resize(cfg_.num_nodes);
   for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
     Cluster& cl = *clusters_[n];
@@ -350,7 +591,16 @@ RunStats Kernel::run() {
     out.totals.merge(cl.stats);
   }
   out.final_states.reserve(runtimes_.size());
-  for (const auto& rt : runtimes_) out.final_states.push_back(rt.state());
+  out.per_lp.reserve(runtimes_.size());
+  for (const auto& rt : runtimes_) {
+    out.final_states.push_back(rt.state());
+    LpStats ls;
+    ls.events_processed = rt.events_processed();
+    ls.events_rolled_back = rt.events_rolled_back();
+    ls.rollbacks = rt.rollbacks();
+    ls.max_rollback_depth = rt.max_rollback_depth();
+    out.per_lp.push_back(ls);
+  }
   return out;
 }
 

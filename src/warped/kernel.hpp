@@ -2,8 +2,11 @@
 // The Time Warp kernel: one thread per node ("workstation"), each running a
 // WARPED-style cluster of logical processes with an LTSF (lowest timestamp
 // first) scheduler, communicating through mailboxes with a modeled network
-// (comm.hpp), synchronized by periodic stop-the-world GVT rounds with
-// fossil collection.
+// (comm.hpp), synchronized by an asynchronous Mattern-style GVT (gvt.hpp)
+// with fossil collection.  No node thread ever blocks on another: GVT
+// rounds are joined from the main loop, transient messages are accounted
+// with epoch-colored counters, and a watchdog thread turns any residual
+// stall into a diagnosed abort instead of a silent hang.
 //
 // Mapping to the paper's framework (§4): LPs are grouped into clusters, one
 // per node; LPs within a cluster interact directly as classical Time Warp
@@ -16,8 +19,8 @@
 #include <memory>
 #include <vector>
 
-#include "warped/barrier.hpp"
 #include "warped/comm.hpp"
+#include "warped/gvt.hpp"
 #include "warped/lp.hpp"
 #include "warped/lp_runtime.hpp"
 #include "warped/stats.hpp"
@@ -37,7 +40,7 @@ struct KernelConfig {
   /// Inter-node communication model (see comm.hpp).
   NetworkModel network;
 
-  /// Wall-clock interval between GVT rounds.
+  /// Wall-clock interval between GVT round starts.
   std::uint64_t gvt_interval_us = 2000;
 
   /// State-saving period: snapshot after every Nth batch (1 = classic
@@ -51,6 +54,11 @@ struct KernelConfig {
   /// Per-node live-entry limit emulating the paper's 128 MB workstations
   /// (s15850 on 2 nodes ran out of memory).  0 = unlimited.
   std::size_t max_live_entries_per_node = 0;
+
+  /// Deadlock watchdog: if neither GVT nor the global executed-event count
+  /// changes for this long, abort the run with RunStats::stalled set and
+  /// dump per-node / per-LP diagnostics to stderr.  0 disables it.
+  std::uint64_t watchdog_timeout_ms = 30000;
 };
 
 class Kernel {
@@ -64,7 +72,8 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  /// Run the simulation to completion (or OOM abort); single use.
+  /// Run the simulation to completion (or OOM / watchdog abort, reported
+  /// in the returned stats); single use.
   RunStats run();
 
  private:
@@ -72,7 +81,11 @@ class Kernel {
 
   void init_all_lps();
   void node_main(std::uint32_t node);
-  bool gvt_round(std::uint32_t node);  ///< returns true when done
+  void controller_poll(std::uint64_t now_ns);  ///< node 0's GVT duties
+  void fossil_round(Cluster& cl);
+  void watchdog_main();
+  std::uint64_t total_exec_ticks() const noexcept;
+  void dump_stall_diagnostics() const;  ///< post-mortem, single-threaded
 
   std::vector<LogicalProcess*> lps_;
   std::vector<std::uint32_t> node_of_;
@@ -81,16 +94,23 @@ class Kernel {
   std::vector<LpRuntime> runtimes_;          // indexed by LpId
   std::vector<std::unique_ptr<Cluster>> clusters_;  // indexed by node
 
-  // GVT coordination.
-  SpinBarrier barrier_;
-  std::atomic<bool> gvt_requested_{false};
+  // GVT coordination (asynchronous; see gvt.hpp).
+  GvtCoordinator gvt_coord_;
   std::atomic<bool> done_{false};
   std::atomic<bool> oom_{false};
+  std::atomic<bool> stalled_{false};
   std::atomic<SimTime> gvt_{0};
-  std::vector<SimTime> reported_min_;
-  std::uint64_t gvt_cycles_ = 0;
+  /// Rounds whose GVT estimate has been published (written by node 0).
+  std::atomic<std::uint64_t> completed_rounds_{0};
 
-  std::atomic<std::uint64_t> epoch_origin_ns_{0};
+  // Controller state, touched only by node 0's thread.
+  std::uint64_t ctrl_started_rounds_ = 0;
+  std::uint64_t ctrl_last_trigger_ns_ = 0;
+
+  /// Batches executed during the watchdog's frozen-GVT window (written by
+  /// the watchdog before it raises stalled_): 0 = deadlock, >0 = livelock.
+  std::uint64_t stall_ticks_wasted_ = 0;
+
   bool ran_ = false;
 };
 

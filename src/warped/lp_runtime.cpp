@@ -59,8 +59,11 @@ void LpRuntime::rollback(SimTime to_time, InsertResult& res) {
 
   // 2. Un-process everything after the restored snapshot.
   PLS_CHECK(new_processed <= processed_count_);
-  res.unprocessed_events += processed_count_ - new_processed;
-  events_rolled_back_ += processed_count_ - new_processed;
+  const std::uint64_t undone = processed_count_ - new_processed;
+  res.unprocessed_events += undone;
+  events_rolled_back_ += undone;
+  ++rollbacks_;
+  max_rollback_depth_ = std::max(max_rollback_depth_, undone);
   processed_count_ = new_processed;
 
   // 3. Aggressive cancellation: anti-messages for every output sent at or
@@ -202,6 +205,12 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
       output_queue_.begin(), output_queue_.end(), gvt,
       [](const Event& e, SimTime time) { return e.send_time < time; });
   output_queue_.erase(output_queue_.begin(), out);
+
+  // A waiting anti below GVT can never meet its positive twin any more (no
+  // message below GVT is in flight); drop it so the defence-in-depth list
+  // stays bounded over long runs.
+  std::erase_if(pending_antis_,
+                [gvt](const Event& e) { return e.recv_time < gvt; });
   return res;
 }
 

@@ -98,9 +98,20 @@ class LpRuntime {
 
   // ---- GVT / fossil collection -------------------------------------------
 
-  /// Smallest receive time this LP can still contribute: its next pending
-  /// event (anti-messages in flight are accounted by the cluster).
-  SimTime local_min() const noexcept { return next_time(); }
+  /// Smallest receive time this LP can still contribute to GVT: its first
+  /// pending batch whose effects are *visible*.  Pending batches below the
+  /// replay boundary are coast-forward re-executions with sends suppressed
+  /// — they rebuild state that was already accounted for and cannot create
+  /// anything new, so reporting them would (harmlessly but needlessly)
+  /// drag the GVT estimate below an already-published sound bound.
+  /// Anti-messages in flight are accounted by the cluster.
+  SimTime gvt_min_time() const noexcept {
+    if (!has_unprocessed()) return kEndOfTime;
+    const SimTime t = queue_[processed_count_].recv_time;
+    if (t >= replay_until_) return t;
+    const std::size_t i = first_at_or_after(replay_until_);
+    return i < queue_.size() ? queue_[i].recv_time : kEndOfTime;
+  }
 
   struct FossilResult {
     std::uint64_t committed_events = 0;
@@ -126,10 +137,18 @@ class LpRuntime {
   std::uint64_t events_rolled_back() const noexcept {
     return events_rolled_back_;
   }
-  /// Live memory footprint in queue entries (input + output + snapshots);
-  /// used to emulate the paper's out-of-memory behaviour.
+  /// Number of rollbacks (primary + secondary) this LP suffered.
+  std::uint64_t rollbacks() const noexcept { return rollbacks_; }
+  /// Most events undone by a single rollback — bounds how deep the
+  /// optimism ran ahead of this LP's true frontier.
+  std::uint64_t max_rollback_depth() const noexcept {
+    return max_rollback_depth_;
+  }
+  /// Live memory footprint in queue entries (input + output + snapshots +
+  /// waiting antis); used to emulate the paper's out-of-memory behaviour.
   std::size_t live_entries() const noexcept {
-    return queue_.size() + output_queue_.size() + snapshots_.size();
+    return queue_.size() + output_queue_.size() + snapshots_.size() +
+           pending_antis_.size();
   }
 
   /// Test hooks: inspect internals.
@@ -171,6 +190,8 @@ class LpRuntime {
 
   std::uint64_t events_processed_ = 0;
   std::uint64_t events_rolled_back_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t max_rollback_depth_ = 0;
   std::uint64_t next_event_id_ = 1;
 };
 

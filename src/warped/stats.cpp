@@ -15,6 +15,7 @@ void NodeStats::merge(const NodeStats& o) noexcept {
   intra_node_events += o.intra_node_events;
   anti_messages_sent += o.anti_messages_sent;
   idle_polls += o.idle_polls;
+  idle_sleeps += o.idle_sleeps;
   peak_live_entries = std::max(peak_live_entries, o.peak_live_entries);
 }
 
@@ -30,6 +31,7 @@ std::ostream& operator<<(std::ostream& os, const RunStats& s) {
      << " antis=" << s.totals.anti_messages_sent
      << " gvt_cycles=" << s.gvt_cycles;
   if (s.out_of_memory) os << " OOM";
+  if (s.stalled) os << " STALLED";
   return os;
 }
 

@@ -26,21 +26,33 @@ struct NodeStats {
   std::uint64_t intra_node_events = 0;    ///< direct local deliveries
   std::uint64_t anti_messages_sent = 0;
 
-  std::uint64_t idle_polls = 0;  ///< main-loop spins with nothing to do
+  std::uint64_t idle_polls = 0;   ///< main-loop spins with nothing to do
+  std::uint64_t idle_sleeps = 0;  ///< idle-backoff naps (core released)
   std::size_t peak_live_entries = 0;  ///< memory high-water mark
 
   void merge(const NodeStats& o) noexcept;
+};
+
+/// Per-LP attribution, so a stall or a rollback storm can be pinned to the
+/// responsible process instead of showing up only as node-level noise.
+struct LpStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_rolled_back = 0;
+  std::uint64_t rollbacks = 0;           ///< primary + secondary
+  std::uint64_t max_rollback_depth = 0;  ///< most events undone at once
 };
 
 struct RunStats {
   std::uint32_t num_nodes = 1;
   double wall_seconds = 0.0;        ///< the paper's "Simulation Time"
   SimTime final_gvt = 0;
-  std::uint64_t gvt_cycles = 0;
+  std::uint64_t gvt_cycles = 0;     ///< completed asynchronous GVT rounds
   bool out_of_memory = false;       ///< aborted by the live-event limit
+  bool stalled = false;             ///< aborted by the deadlock watchdog
 
   NodeStats totals;                 ///< aggregated over nodes
   std::vector<NodeStats> per_node;
+  std::vector<LpStats> per_lp;      ///< indexed by LpId
 
   /// Final committed state of every LP, for sequential-equivalence checks.
   std::vector<LpState> final_states;

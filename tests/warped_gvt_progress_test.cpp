@@ -1,0 +1,153 @@
+// GVT progress regression test: the asynchronous Mattern-style GVT must
+// drive a deterministic small-circuit simulation to completion within a
+// hard wall-clock budget (the seed kernel's barrier-coupled GVT livelocked
+// exactly here when node threads outnumbered cores), and the Time Warp
+// accounting — rollback and anti-message bookkeeping, node totals, per-LP
+// attribution — must be self-consistent afterwards.
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "framework/driver.hpp"
+#include "logicsim/equivalence.hpp"
+#include "util/timer.hpp"
+
+namespace pls {
+namespace {
+
+// Far above anything observed (~0.3 s on one core), far below the 300 s
+// ctest timeout: a regression to timeslice-granularity progress trips this
+// long before CI kills the binary.
+constexpr double kWallBudgetSeconds = 60.0;
+
+const circuit::Circuit& small_circuit() {
+  static const circuit::Circuit c = [] {
+    circuit::GeneratorSpec spec;
+    spec.name = "gvt_progress";
+    spec.num_comb_gates = 300;
+    spec.num_inputs = 12;
+    spec.num_outputs = 6;
+    spec.num_dffs = 20;
+    spec.seed = 77;
+    return circuit::generate(spec);
+  }();
+  return c;
+}
+
+framework::DriverConfig progress_config() {
+  framework::DriverConfig cfg;
+  cfg.end_time = 500;
+  cfg.seed = 7;
+  cfg.event_cost_ns = 0;
+  cfg.send_overhead_ns = 0;
+  cfg.latency_ns = 10000;  // enough wall latency to provoke stragglers
+  cfg.gvt_interval_us = 500;
+  // A healthy run always makes progress, so even a tight watchdog must
+  // never fire; if the kernel regresses into a stall, this turns the hang
+  // into a diagnosed failure within seconds.
+  cfg.watchdog_timeout_ms = 5000;
+  return cfg;
+}
+
+void check_accounting(const warped::RunStats& run) {
+  // Every processed event was either committed or rolled back.
+  EXPECT_EQ(run.totals.events_processed,
+            run.totals.events_committed + run.totals.events_rolled_back);
+
+  // Per-LP attribution must re-sum to the node totals.
+  std::uint64_t lp_processed = 0;
+  std::uint64_t lp_rolled_back = 0;
+  std::uint64_t lp_rollbacks = 0;
+  for (const auto& lp : run.per_lp) {
+    lp_processed += lp.events_processed;
+    lp_rolled_back += lp.events_rolled_back;
+    lp_rollbacks += lp.rollbacks;
+    // A single rollback cannot undo more events than the LP ever lost,
+    // and an LP with undone events must have rolled back at least once.
+    EXPECT_LE(lp.max_rollback_depth, lp.events_rolled_back);
+    // (The converse — rollbacks > 0 implies a positive depth — does NOT
+    // hold: a straggler landing exactly at a replay frontier rolls back
+    // without undoing any processed batch.)
+    if (lp.events_rolled_back > 0) {
+      EXPECT_GT(lp.rollbacks, 0u);
+    }
+  }
+  EXPECT_EQ(lp_processed, run.totals.events_processed);
+  EXPECT_EQ(lp_rolled_back, run.totals.events_rolled_back);
+  EXPECT_EQ(lp_rollbacks, run.totals.total_rollbacks());
+}
+
+TEST(GvtProgress, CompletesUnderHardTimeoutAcrossNodeCounts) {
+  const auto& c = small_circuit();
+  const auto seq = framework::run_sequential(c, progress_config());
+
+  for (std::uint32_t nodes : {2u, 4u, 8u}) {
+    framework::DriverConfig cfg = progress_config();
+    cfg.num_nodes = nodes;
+
+    util::WallTimer timer;
+    const auto par = framework::run_parallel(c, cfg);
+    const double wall = timer.elapsed_seconds();
+
+    EXPECT_LT(wall, kWallBudgetSeconds) << "nodes=" << nodes;
+    EXPECT_FALSE(par.run.stalled) << "nodes=" << nodes;
+    EXPECT_FALSE(par.run.out_of_memory) << "nodes=" << nodes;
+    EXPECT_EQ(par.run.final_gvt, warped::kEndOfTime) << "nodes=" << nodes;
+    EXPECT_GT(par.run.gvt_cycles, 0u) << "nodes=" << nodes;
+    EXPECT_TRUE(logicsim::check_equivalence(par.run, seq).ok())
+        << "nodes=" << nodes;
+    check_accounting(par.run);
+  }
+}
+
+TEST(GvtProgress, RollbackStormStaysLiveAndConsistent) {
+  // Maximal cross-node traffic + long latency: the straggler factory that
+  // used to wedge the seed kernel.  Must still terminate promptly with
+  // coherent rollback/anti-message counters.
+  framework::DriverConfig cfg = progress_config();
+  cfg.partitioner = "Random";
+  cfg.num_nodes = 4;
+  cfg.latency_ns = 40000;
+
+  util::WallTimer timer;
+  const auto par = framework::run_parallel(small_circuit(), cfg);
+  EXPECT_LT(timer.elapsed_seconds(), kWallBudgetSeconds);
+  EXPECT_FALSE(par.run.stalled);
+  EXPECT_EQ(par.run.final_gvt, warped::kEndOfTime);
+  EXPECT_GT(par.run.totals.total_rollbacks(), 0u);
+  check_accounting(par.run);
+
+  // A secondary rollback is anti-message-induced, so cancellations must
+  // have flowed: either across nodes (counted) or within one.
+  if (par.run.totals.secondary_rollbacks > 0 &&
+      par.run.totals.intra_node_events == 0) {
+    EXPECT_GT(par.run.totals.anti_messages_sent, 0u);
+  }
+}
+
+TEST(GvtProgress, RepeatedRunsTerminateIdentically) {
+  // Three consecutive runs (fresh thread interleavings each time) must all
+  // terminate in budget with identical committed results — the reliability
+  // bar the seed kernel failed.
+  const auto& c = small_circuit();
+  framework::DriverConfig cfg = progress_config();
+  cfg.num_nodes = 4;
+
+  std::vector<warped::LpState> first;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::WallTimer timer;
+    const auto par = framework::run_parallel(c, cfg);
+    EXPECT_LT(timer.elapsed_seconds(), kWallBudgetSeconds) << "rep=" << rep;
+    EXPECT_FALSE(par.run.stalled) << "rep=" << rep;
+    EXPECT_EQ(par.run.final_gvt, warped::kEndOfTime) << "rep=" << rep;
+    check_accounting(par.run);
+    if (rep == 0) {
+      first = par.run.final_states;
+    } else {
+      EXPECT_EQ(par.run.final_states, first) << "rep=" << rep;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pls

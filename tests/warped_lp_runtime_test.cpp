@@ -68,7 +68,7 @@ TEST(LpRuntime, NoUnprocessedMeansEndOfTime) {
   LpRuntime rt(0, &lp);
   EXPECT_FALSE(rt.has_unprocessed());
   EXPECT_EQ(rt.next_time(), kEndOfTime);
-  EXPECT_EQ(rt.local_min(), kEndOfTime);
+  EXPECT_EQ(rt.gvt_min_time(), kEndOfTime);
 }
 
 TEST(LpRuntime, SnapshotAfterEveryBatchByDefault) {
