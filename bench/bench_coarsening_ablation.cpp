@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("circuit", "benchmark", "s9234");
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
-  const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
+  const auto k = static_cast<std::uint32_t>(bench::get_flag_u64(cli, "k", 1, 1024));
   const std::string name = cli.get("circuit");
 
   const circuit::Circuit c = bench::make_benchmark(name, cfg);

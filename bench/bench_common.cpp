@@ -20,32 +20,106 @@ void add_common_flags(util::Cli& cli) {
   cli.add_flag("latency-ns", "inter-node delivery latency", "25000");
   cli.add_flag("window", "optimism window in virtual time (0 = unbounded)",
                "0");
+  cli.add_flag("throttle",
+               "optimism throttle mode(s): auto | adaptive | fixed | "
+               "unlimited, comma-separated for mode columns",
+               "auto");
+  cli.add_flag("rollback-budget",
+               "adaptive throttle: target rolled-back/processed fraction",
+               "0.2");
+  cli.add_flag("batch", "LTSF batches per kernel poll", "8");
   cli.add_flag("gvt-us", "wall-clock microseconds between GVT rounds",
                "2000");
   cli.add_flag("stim-period", "virtual time between input vectors", "50");
   cli.add_flag("clock-period", "flip-flop clock period", "10");
 }
 
+std::uint64_t get_flag_u64(const util::Cli& cli, const std::string& name,
+                           std::uint64_t lo, std::uint64_t hi) {
+  const std::int64_t raw = cli.get_int(name);
+  PLS_CHECK_MSG(raw >= 0, "--" << name << " must be non-negative, got "
+                                << raw);
+  const auto v = static_cast<std::uint64_t>(raw);
+  PLS_CHECK_MSG(v >= lo && v <= hi, "--" << name << " must be in ["
+                                          << lo << ", " << hi << "], got "
+                                          << v);
+  return v;
+}
+
 BenchConfig config_from_cli(const util::Cli& cli) {
   BenchConfig cfg;
   cfg.scale = cli.get_double("scale");
-  cfg.end_time = static_cast<warped::SimTime>(cli.get_int("end"));
-  cfg.repeats = static_cast<std::uint32_t>(cli.get_int("repeats"));
-  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  // Checked reads: every one of these lands in an unsigned config field, so
+  // a negative (or absurdly large) value would otherwise wrap silently.
+  cfg.end_time = get_flag_u64(cli, "end", 1, std::uint64_t{1} << 60);
+  cfg.repeats =
+      static_cast<std::uint32_t>(get_flag_u64(cli, "repeats", 1, 100000));
+  cfg.seed = get_flag_u64(cli, "seed", 0, ~std::uint64_t{0} >> 1);
   cfg.csv_dir = cli.get("csv");
-  cfg.event_cost_ns = static_cast<std::uint64_t>(cli.get_int("event-cost-ns"));
+  cfg.event_cost_ns =
+      get_flag_u64(cli, "event-cost-ns", 0, 1'000'000'000);
   cfg.send_overhead_ns =
-      static_cast<std::uint64_t>(cli.get_int("send-overhead-ns"));
-  cfg.latency_ns = static_cast<std::uint64_t>(cli.get_int("latency-ns"));
-  cfg.optimism_window = static_cast<std::uint64_t>(cli.get_int("window"));
-  cfg.gvt_interval_us = static_cast<std::uint64_t>(cli.get_int("gvt-us"));
-  cfg.stim_period = static_cast<warped::SimTime>(cli.get_int("stim-period"));
-  cfg.clock_period =
-      static_cast<warped::SimTime>(cli.get_int("clock-period"));
+      get_flag_u64(cli, "send-overhead-ns", 0, 1'000'000'000);
+  cfg.latency_ns = get_flag_u64(cli, "latency-ns", 0, 10'000'000'000ull);
+  cfg.optimism_window =
+      get_flag_u64(cli, "window", 0, std::uint64_t{1} << 60);
+  cfg.throttle = cli.get("throttle");
+  cfg.rollback_budget = cli.get_double("rollback-budget");
+  cfg.max_batches_per_poll =
+      static_cast<std::uint32_t>(get_flag_u64(cli, "batch", 1, 1 << 20));
+  // Capped well below the kernel's 30 s deadlock watchdog: a GVT interval
+  // longer than the watchdog window guarantees a false stall abort.
+  cfg.gvt_interval_us = get_flag_u64(cli, "gvt-us", 1, 10'000'000);
+  cfg.stim_period = get_flag_u64(cli, "stim-period", 1, 1u << 30);
+  cfg.clock_period = get_flag_u64(cli, "clock-period", 1, 1u << 30);
   PLS_CHECK_MSG(cfg.scale > 0.0 && cfg.scale <= 4.0,
                 "--scale must be in (0, 4]");
-  PLS_CHECK_MSG(cfg.repeats >= 1, "--repeats must be >= 1");
+  PLS_CHECK_MSG(cfg.rollback_budget > 0.0 && cfg.rollback_budget < 1.0,
+                "--rollback-budget must be in (0, 1)");
+  throttle_modes(cfg);  // fail fast on a malformed --throttle spec
   return cfg;
+}
+
+std::vector<warped::ThrottleMode> throttle_modes(const BenchConfig& cfg) {
+  std::vector<warped::ThrottleMode> modes;
+  std::size_t start = 0;
+  while (start <= cfg.throttle.size()) {
+    const std::size_t comma = cfg.throttle.find(',', start);
+    const std::string tok =
+        cfg.throttle.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start);
+    warped::ThrottleMode mode;
+    if (tok == "auto") {
+      // Historical semantics: --window N used to mean a fixed window.
+      mode = cfg.optimism_window > 0 ? warped::ThrottleMode::kFixed
+                                     : warped::ThrottleMode::kAdaptive;
+    } else {
+      PLS_CHECK_MSG(warped::parse_throttle_mode(tok, &mode),
+                    "--throttle: unknown mode '"
+                        << tok << "' (want auto|adaptive|fixed|unlimited)");
+    }
+    if (std::find(modes.begin(), modes.end(), mode) == modes.end()) {
+      modes.push_back(mode);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  PLS_CHECK_MSG(!modes.empty(), "--throttle: empty mode list");
+  return modes;
+}
+
+std::vector<std::string> mode_strategy_columns(
+    const std::vector<warped::ThrottleMode>& modes) {
+  std::vector<std::string> cols;
+  for (const auto mode : modes) {
+    for (const auto& s : strategies()) {
+      cols.push_back(modes.size() == 1
+                         ? s
+                         : s + "@" + warped::to_string(mode));
+    }
+  }
+  return cols;
 }
 
 circuit::Circuit make_benchmark(const std::string& name,
@@ -83,7 +157,10 @@ framework::DriverConfig driver_config(const BenchConfig& cfg,
   dc.event_cost_ns = cfg.event_cost_ns;
   dc.send_overhead_ns = cfg.send_overhead_ns;
   dc.latency_ns = cfg.latency_ns;
+  dc.throttle.mode = throttle_modes(cfg).front();
+  dc.throttle.target_rollback_fraction = cfg.rollback_budget;
   dc.optimism_window = cfg.optimism_window;
+  dc.max_batches_per_poll = cfg.max_batches_per_poll;
   dc.gvt_interval_us = cfg.gvt_interval_us;
   dc.model.stim_period = cfg.stim_period;
   dc.model.clock_period = cfg.clock_period;
@@ -96,9 +173,26 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
                                   const BenchConfig& cfg,
                                   const std::string& partitioner,
                                   std::uint32_t nodes) {
+  const auto modes = throttle_modes(cfg);
+  // Benches without throttle-mode columns run exactly one mode; silently
+  // dropping the rest of a list would mislabel their output.
+  PLS_CHECK_MSG(modes.size() == 1,
+                "--throttle lists " << modes.size()
+                                    << " modes, but this bench sweeps a "
+                                       "single mode — pass just one");
+  return run_parallel_averaged(c, cfg, partitioner, nodes, modes.front());
+}
+
+AveragedRun run_parallel_averaged(const circuit::Circuit& c,
+                                  const BenchConfig& cfg,
+                                  const std::string& partitioner,
+                                  std::uint32_t nodes,
+                                  warped::ThrottleMode mode) {
   AveragedRun avg;
+  framework::DriverConfig base = driver_config(cfg, partitioner, nodes);
+  base.throttle.mode = mode;
   for (std::uint32_t r = 0; r < cfg.repeats; ++r) {
-    framework::DriverConfig dc = driver_config(cfg, partitioner, nodes);
+    framework::DriverConfig dc = base;
     dc.seed = cfg.seed + r;  // paper: repeated five times, averaged
     framework::DriverResult res = framework::run_parallel(c, dc);
     avg.wall_seconds += res.run.wall_seconds;
@@ -108,6 +202,14 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
     avg.committed += static_cast<double>(res.run.totals.events_committed);
     avg.anti_messages +=
         static_cast<double>(res.run.totals.anti_messages_sent);
+    avg.events_processed +=
+        static_cast<double>(res.run.totals.events_processed);
+    avg.events_rolled_back +=
+        static_cast<double>(res.run.totals.events_rolled_back);
+    avg.throttle_shrinks +=
+        static_cast<double>(res.run.totals.throttle_shrinks);
+    avg.throttle_grows +=
+        static_cast<double>(res.run.totals.throttle_grows);
     avg.out_of_memory |= res.run.out_of_memory;
     avg.last = std::move(res);
   }
@@ -117,6 +219,10 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
   avg.rollbacks /= n;
   avg.committed /= n;
   avg.anti_messages /= n;
+  avg.events_processed /= n;
+  avg.events_rolled_back /= n;
+  avg.throttle_shrinks /= n;
+  avg.throttle_grows /= n;
   return avg;
 }
 

@@ -42,6 +42,16 @@ struct BenchConfig {
   /// see KernelConfig::optimism_window.
   std::uint64_t optimism_window = 0;
 
+  /// Throttle mode spec from --throttle: "auto" (fixed when --window > 0,
+  /// adaptive otherwise, preserving the historical --window semantics) or
+  /// any comma-separated list of adaptive|fixed|unlimited — benches with
+  /// throttle-mode columns sweep the list.
+  std::string throttle = "auto";
+  /// Target rollback fraction for the adaptive controller.
+  double rollback_budget = 0.20;
+  /// LTSF batches per kernel main-loop iteration.
+  std::uint32_t max_batches_per_poll = 8;
+
   /// Wall-clock microseconds between GVT rounds.
   std::uint64_t gvt_interval_us = 2000;
 
@@ -60,6 +70,21 @@ void add_common_flags(util::Cli& cli);
 /// Extract a BenchConfig after cli.parse().
 BenchConfig config_from_cli(const util::Cli& cli);
 
+/// Checked integer flag read: rejects values outside [lo, hi] with a clear
+/// message instead of letting negatives / overlarge values silently wrap
+/// through the unsigned config casts.
+std::uint64_t get_flag_u64(const util::Cli& cli, const std::string& name,
+                           std::uint64_t lo, std::uint64_t hi);
+
+/// Resolve cfg.throttle into concrete kernel modes ("auto" expands using
+/// cfg.optimism_window; a comma-separated list expands in order, deduped).
+std::vector<warped::ThrottleMode> throttle_modes(const BenchConfig& cfg);
+
+/// Strategy column labels for a throttle-mode sweep: plain strategy names
+/// for a single mode, "Strategy@mode" per mode-group otherwise.
+std::vector<std::string> mode_strategy_columns(
+    const std::vector<warped::ThrottleMode>& modes);
+
 /// The paper's three benchmarks, scaled.  scale=1 reproduces Table 1's
 /// exact interface counts.
 circuit::Circuit make_benchmark(const std::string& name,
@@ -69,7 +94,10 @@ circuit::Circuit make_benchmark(const std::string& name,
 /// (the native hypergraph partitioner) for head-to-head comparison.
 const std::vector<std::string>& strategies();
 
-/// Driver config preset for one parallel run.
+/// Driver config preset for one parallel run.  Resolves a multi-mode
+/// --throttle list to its FIRST mode; benches that sweep modes must use
+/// the explicit-mode run_parallel_averaged overload per column group
+/// (partition-only callers never touch the throttle at all).
 framework::DriverConfig driver_config(const BenchConfig& cfg,
                                       const std::string& partitioner,
                                       std::uint32_t nodes);
@@ -82,14 +110,31 @@ struct AveragedRun {
   double rollbacks = 0.0;
   double committed = 0.0;
   double anti_messages = 0.0;
+  double events_processed = 0.0;
+  double events_rolled_back = 0.0;
+  double throttle_shrinks = 0.0;
+  double throttle_grows = 0.0;
   bool out_of_memory = false;
   framework::DriverResult last;  ///< static metrics of the last repeat
+
+  /// events_rolled_back / events_processed — the wasted-work ratio the
+  /// adaptive throttle targets (0 when nothing was processed).
+  double rollback_fraction() const noexcept {
+    return events_processed > 0 ? events_rolled_back / events_processed : 0.0;
+  }
 };
 
 AveragedRun run_parallel_averaged(const circuit::Circuit& c,
                                   const BenchConfig& cfg,
                                   const std::string& partitioner,
                                   std::uint32_t nodes);
+
+/// Same, under an explicit throttle mode (for mode-column sweeps).
+AveragedRun run_parallel_averaged(const circuit::Circuit& c,
+                                  const BenchConfig& cfg,
+                                  const std::string& partitioner,
+                                  std::uint32_t nodes,
+                                  warped::ThrottleMode mode);
 
 /// Averaged sequential reference run.
 double run_sequential_averaged(const circuit::Circuit& c,

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "number of parts for the size sweep", "8");
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
-  const auto k = static_cast<std::uint32_t>(cli.get_int("k"));
+  const auto k = static_cast<std::uint32_t>(bench::get_flag_u64(cli, "k", 1, 1024));
 
   util::AsciiTable table({"Gates", "Edges", "Levels", "Cut", "Time(ms)",
                           "ns/edge"});

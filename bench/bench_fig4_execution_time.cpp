@@ -23,31 +23,37 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
   const auto max_nodes =
-      static_cast<std::uint32_t>(cli.get_int("max-nodes"));
+      static_cast<std::uint32_t>(bench::get_flag_u64(cli, "max-nodes", 1, 64));
   const std::string circuit_name = cli.get("circuit");
 
   const circuit::Circuit c = bench::make_benchmark(circuit_name, cfg);
   const double seq = bench::run_sequential_averaged(c, cfg);
   std::printf("%s sequential reference: %.2fs\n", circuit_name.c_str(), seq);
 
+  const auto modes = bench::throttle_modes(cfg);
   std::vector<std::string> header{"Nodes", "Sequential"};
-  for (const auto& s : bench::strategies()) header.push_back(s);
+  for (auto& col : bench::mode_strategy_columns(modes)) {
+    header.push_back(std::move(col));
+  }
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/fig4_execution_time.csv",
-                      {"circuit", "nodes", "strategy", "seconds",
-                       "seq_seconds"});
+                      {"circuit", "nodes", "strategy", "throttle",
+                       "seconds", "seq_seconds"});
 
   for (std::uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes),
                                  util::AsciiTable::num(seq)};
-    for (const auto& strategy : bench::strategies()) {
-      const auto avg =
-          bench::run_parallel_averaged(c, cfg, strategy, nodes);
-      row.push_back(util::AsciiTable::num(avg.wall_seconds));
-      csv.row({circuit_name, std::to_string(nodes), strategy,
-               util::AsciiTable::num(avg.wall_seconds, 4),
-               util::AsciiTable::num(seq, 4)});
-      std::fflush(stdout);
+    for (const auto mode : modes) {
+      for (const auto& strategy : bench::strategies()) {
+        const auto avg =
+            bench::run_parallel_averaged(c, cfg, strategy, nodes, mode);
+        row.push_back(util::AsciiTable::num(avg.wall_seconds));
+        csv.row({circuit_name, std::to_string(nodes), strategy,
+                 warped::to_string(mode),
+                 util::AsciiTable::num(avg.wall_seconds, 4),
+                 util::AsciiTable::num(seq, 4)});
+        std::fflush(stdout);
+      }
     }
     table.add_row(row);
   }

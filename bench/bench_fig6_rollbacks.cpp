@@ -23,27 +23,39 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
   const auto max_nodes =
-      static_cast<std::uint32_t>(cli.get_int("max-nodes"));
+      static_cast<std::uint32_t>(bench::get_flag_u64(cli, "max-nodes", 2, 64));
   const std::string circuit_name = cli.get("circuit");
 
   const circuit::Circuit c = bench::make_benchmark(circuit_name, cfg);
+  const auto modes = bench::throttle_modes(cfg);
 
+  // One column group per throttle mode (mode suffix only when sweeping
+  // several, so the single-mode table keeps its historical shape).
   std::vector<std::string> header{"Nodes"};
-  for (const auto& s : bench::strategies()) header.push_back(s);
+  for (auto& col : bench::mode_strategy_columns(modes)) {
+    header.push_back(std::move(col));
+  }
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/fig6_rollbacks.csv",
-                      {"circuit", "nodes", "strategy", "rollbacks",
-                       "committed_events"});
+                      {"circuit", "nodes", "strategy", "throttle",
+                       "rollbacks", "committed_events", "events_processed",
+                       "events_rolled_back", "rollback_fraction"});
 
   for (std::uint32_t nodes = 2; nodes <= max_nodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes)};
-    for (const auto& strategy : bench::strategies()) {
-      const auto avg =
-          bench::run_parallel_averaged(c, cfg, strategy, nodes);
-      row.push_back(util::AsciiTable::num(avg.rollbacks, 0));
-      csv.row({circuit_name, std::to_string(nodes), strategy,
-               util::AsciiTable::num(avg.rollbacks, 0),
-               util::AsciiTable::num(avg.committed, 0)});
+    for (const auto mode : modes) {
+      for (const auto& strategy : bench::strategies()) {
+        const auto avg =
+            bench::run_parallel_averaged(c, cfg, strategy, nodes, mode);
+        row.push_back(util::AsciiTable::num(avg.rollbacks, 0));
+        csv.row({circuit_name, std::to_string(nodes), strategy,
+                 warped::to_string(mode),
+                 util::AsciiTable::num(avg.rollbacks, 0),
+                 util::AsciiTable::num(avg.committed, 0),
+                 util::AsciiTable::num(avg.events_processed, 0),
+                 util::AsciiTable::num(avg.events_rolled_back, 0),
+                 util::AsciiTable::num(avg.rollback_fraction(), 4)});
+      }
     }
     table.add_row(row);
   }

@@ -28,15 +28,18 @@ int main(int argc, char** argv) {
                "0");
   if (!cli.parse(argc, argv)) return 1;
   bench::BenchConfig cfg = bench::config_from_cli(cli);
-  cfg.max_live_entries_per_node =
-      static_cast<std::size_t>(cli.get_int("oom-limit"));
+  cfg.max_live_entries_per_node = static_cast<std::size_t>(
+      bench::get_flag_u64(cli, "oom-limit", 0, std::uint64_t{1} << 40));
 
+  const auto modes = bench::throttle_modes(cfg);
   std::vector<std::string> header{"Circuit", "Seq Time", "Nodes"};
-  for (const auto& s : bench::strategies()) header.push_back(s);
+  for (auto& col : bench::mode_strategy_columns(modes)) {
+    header.push_back(std::move(col));
+  }
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/table2_simulation_time.csv",
                       {"circuit", "seq_seconds", "nodes", "strategy",
-                       "seconds", "oom"});
+                       "throttle", "seconds", "oom"});
 
   for (const char* name : {"s5378", "s9234", "s15850"}) {
     const circuit::Circuit c = bench::make_benchmark(name, cfg);
@@ -51,17 +54,20 @@ int main(int argc, char** argv) {
           first_row ? name : "", first_row ? util::AsciiTable::num(seq) : "",
           std::to_string(nodes)};
       first_row = false;
-      for (const auto& strategy : bench::strategies()) {
-        const auto avg =
-            bench::run_parallel_averaged(c, cfg, strategy, nodes);
-        row.push_back(avg.out_of_memory
-                          ? "-"
-                          : util::AsciiTable::num(avg.wall_seconds));
-        csv.row({name, util::AsciiTable::num(seq, 4),
-                 std::to_string(nodes), strategy,
-                 util::AsciiTable::num(avg.wall_seconds, 4),
-                 avg.out_of_memory ? "1" : "0"});
-        std::fflush(stdout);
+      for (const auto mode : modes) {
+        for (const auto& strategy : bench::strategies()) {
+          const auto avg =
+              bench::run_parallel_averaged(c, cfg, strategy, nodes, mode);
+          row.push_back(avg.out_of_memory
+                            ? "-"
+                            : util::AsciiTable::num(avg.wall_seconds));
+          csv.row({name, util::AsciiTable::num(seq, 4),
+                   std::to_string(nodes), strategy,
+                   warped::to_string(mode),
+                   util::AsciiTable::num(avg.wall_seconds, 4),
+                   avg.out_of_memory ? "1" : "0"});
+          std::fflush(stdout);
+        }
       }
       table.add_row(row);
     }

@@ -24,7 +24,18 @@ int main(int argc, char** argv) {
   cli.add_flag("end", "virtual-time horizon", "1200");
   cli.add_flag("scale", "circuit size multiplier", "0.5");
   cli.add_flag("seed", "seed", "2000");
+  cli.add_flag("throttle", "optimism throttle: adaptive | fixed | unlimited",
+               "adaptive");
+  cli.add_flag("window",
+               "optimism window (fixed mode) / initial window (adaptive)",
+               "0");
   if (!cli.parse(argc, argv)) return 1;
+  warped::ThrottleMode throttle_mode;
+  if (!warped::parse_throttle_mode(cli.get("throttle"), &throttle_mode)) {
+    std::fprintf(stderr, "unknown --throttle mode '%s'\n",
+                 cli.get("throttle").c_str());
+    return 1;
+  }
 
   circuit::GeneratorSpec spec = circuit::iscas_spec(
       cli.get("circuit"), static_cast<std::uint64_t>(cli.get_int("seed")));
@@ -37,15 +48,31 @@ int main(int argc, char** argv) {
 
   framework::DriverConfig cfg;
   cfg.num_nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
-  cfg.end_time = static_cast<warped::SimTime>(cli.get_int("end"));
+  const std::int64_t end = cli.get_int("end");
+  if (end <= 0) {
+    std::fprintf(stderr, "--end must be positive, got %lld\n",
+                 static_cast<long long>(end));
+    return 1;
+  }
+  cfg.end_time = static_cast<warped::SimTime>(end);
   cfg.seed = spec.seed;
   cfg.model.stim_period = 50;
+  cfg.throttle.mode = throttle_mode;
+  const std::int64_t window = cli.get_int("window");
+  if (window < 0) {
+    std::fprintf(stderr, "--window must be non-negative, got %lld\n",
+                 static_cast<long long>(window));
+    return 1;
+  }
+  cfg.optimism_window = static_cast<warped::SimTime>(window);
 
   const auto seq = framework::run_sequential(c, cfg);
-  std::printf("%s (x%.2f) on %u nodes — sequential: %.3fs, %llu events\n\n",
-              cli.get("circuit").c_str(), scale, cfg.num_nodes,
-              seq.wall_seconds,
-              static_cast<unsigned long long>(seq.events_processed));
+  std::printf(
+      "%s (x%.2f) on %u nodes, %s throttle — sequential: %.3fs, %llu "
+      "events\n\n",
+      cli.get("circuit").c_str(), scale, cfg.num_nodes,
+      warped::to_string(cfg.throttle.mode), seq.wall_seconds,
+      static_cast<unsigned long long>(seq.events_processed));
 
   util::AsciiTable table({"Strategy", "Time(s)", "Speedup", "Rollbacks",
                           "AppMsgs", "Verified"});

@@ -59,7 +59,9 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
   kc.network.latency_ns = cfg.latency_ns;
   kc.gvt_interval_us = cfg.gvt_interval_us;
   kc.state_period = cfg.state_period;
+  kc.throttle = cfg.throttle;
   kc.optimism_window = cfg.optimism_window;
+  kc.max_batches_per_poll = cfg.max_batches_per_poll;
   kc.max_live_entries_per_node = cfg.max_live_entries_per_node;
   kc.watchdog_timeout_ms = cfg.watchdog_timeout_ms;
 

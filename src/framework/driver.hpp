@@ -36,7 +36,17 @@ struct DriverConfig {
 
   std::uint64_t gvt_interval_us = 2000;
   std::uint32_t state_period = 1;
+
+  /// Optimism throttling (see warped/throttle.hpp): adaptive by default,
+  /// every controller knob reachable; `optimism_window` is the fixed
+  /// window in kFixed mode and the initial window in kAdaptive mode
+  /// (0 = unbounded / horizon-derived start).
+  warped::ThrottleConfig throttle;
   warped::SimTime optimism_window = 0;
+
+  /// LTSF batches executed per kernel main-loop iteration.
+  std::uint32_t max_batches_per_poll = 8;
+
   std::size_t max_live_entries_per_node = 0;
   std::uint64_t watchdog_timeout_ms = 30000;  ///< 0 disables the watchdog
 

@@ -78,10 +78,19 @@ HgRefineResult refine_fm(const Hypergraph& hg, partition::Partition& p,
   res.lambda_after = res.lambda_before;
   if (k < 2 || n == 0) return res;
 
-  // Φ(e,q): pins of net e in part q, stored flat.
+  // Φ(e,q): pins of net e in part q, stored flat — plus, per net, the
+  // candidate list of parts it actually touches.  Gain evaluation then
+  // iterates O(Σ_e∋v λ(e)) candidate entries (λ is 1–2 for almost every
+  // net) instead of scanning all k parts per net, which was the FM
+  // hot loop's dominant cost at larger k.
   std::vector<std::uint32_t> phi(hg.num_nets() * k, 0);
+  std::vector<std::vector<PartId>> net_parts(hg.num_nets());
   for (NetId e = 0; e < hg.num_nets(); ++e) {
-    for (VertexId v : hg.pins(e)) ++phi[e * k + p.assign[v]];
+    for (VertexId v : hg.pins(e)) {
+      if (phi[std::size_t{e} * k + p.assign[v]]++ == 0) {
+        net_parts[e].push_back(p.assign[v]);
+      }
+    }
   }
 
   std::vector<std::uint64_t> load(k, 0);
@@ -90,34 +99,62 @@ HgRefineResult refine_fm(const Hypergraph& hg, partition::Partition& p,
       static_cast<double>(hg.total_vertex_weight()) / static_cast<double>(k) *
       (1.0 + opt.balance_tol)));
 
+  // Two least-loaded parts (lowest id on ties), maintained across moves:
+  // the no-adjacent-candidate fallback below needs "least-loaded part
+  // other than home" in O(1).  Recomputing costs O(k) but only per
+  // *applied move*, not per gain evaluation.
+  PartId min_load_1 = 0;
+  PartId min_load_2 = 0;
+  auto recompute_min_loads = [&] {
+    min_load_1 = 0;
+    for (PartId q = 1; q < k; ++q) {
+      if (load[q] < load[min_load_1]) min_load_1 = q;
+    }
+    min_load_2 = min_load_1 == 0 ? 1 : 0;
+    for (PartId q = 0; q < k; ++q) {
+      if (q != min_load_1 && load[q] < load[min_load_2]) min_load_2 = q;
+    }
+  };
+  recompute_min_loads();
+
   // Best move of v under the λ−1 gain (balance checked at pop time).
+  // Any part adjacent to v through some net strictly beats every
+  // non-adjacent part (its gain is larger by the shared net weight), so
+  // only the candidate lists need scanning; non-adjacent parts matter
+  // only when v is entirely interior to its home part, where the move is
+  // pure balance and the least-loaded part is the canonical target.
   std::vector<std::uint64_t> present(k, 0);
+  std::vector<PartId> touched;
   auto best_move = [&](VertexId v) -> std::pair<std::int64_t, PartId> {
     const PartId home = p.assign[v];
-    std::fill(present.begin(), present.end(), 0);
     std::int64_t freed = 0;  // gain from leaving home, target-independent
     std::int64_t degw = 0;
     for (NetId e : hg.nets(v)) {
       const auto w = static_cast<std::int64_t>(hg.net_weight(e));
+      if (w == 0) continue;  // weightless nets cannot move any gain
       degw += w;
-      const std::uint32_t* row = phi.data() + std::size_t{e} * k;
-      if (row[home] == 1) freed += w;
-      for (PartId q = 0; q < k; ++q) {
-        if (q != home && row[q] > 0) present[q] += static_cast<std::uint64_t>(w);
+      if (phi[std::size_t{e} * k + home] == 1) freed += w;
+      for (PartId q : net_parts[e]) {
+        if (q == home) continue;
+        if (present[q] == 0) touched.push_back(q);
+        present[q] += static_cast<std::uint64_t>(w);
       }
     }
-    std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
-    PartId best_part = home;
-    for (PartId q = 0; q < k; ++q) {
-      if (q == home) continue;
+    std::int64_t best_gain = freed - degw;
+    PartId best_part = min_load_1 != home ? min_load_1 : min_load_2;
+    for (PartId q : touched) {
       const std::int64_t gain =
           freed - degw + static_cast<std::int64_t>(present[q]);
       if (gain > best_gain ||
-          (gain == best_gain && load[q] < load[best_part])) {
+          (gain == best_gain && (load[q] < load[best_part] ||
+                                 (load[q] == load[best_part] &&
+                                  q < best_part)))) {
         best_gain = gain;
         best_part = q;
       }
+      present[q] = 0;
     }
+    touched.clear();
     return {best_gain, best_part};
   };
 
@@ -138,12 +175,16 @@ HgRefineResult refine_fm(const Hypergraph& hg, partition::Partition& p,
 
   auto apply = [&](VertexId v, PartId from, PartId to) {
     for (NetId e : hg.nets(v)) {
-      --phi[std::size_t{e} * k + from];
-      ++phi[std::size_t{e} * k + to];
+      auto& np = net_parts[e];
+      if (--phi[std::size_t{e} * k + from] == 0) {
+        np.erase(std::find(np.begin(), np.end(), from));
+      }
+      if (phi[std::size_t{e} * k + to]++ == 0) np.push_back(to);
     }
     p.assign[v] = to;
     load[from] -= hg.vertex_weight(v);
     load[to] += hg.vertex_weight(v);
+    recompute_min_loads();
   };
 
   for (std::uint32_t iter = 0; iter < opt.max_iters; ++iter) {

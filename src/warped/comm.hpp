@@ -56,12 +56,11 @@ struct InFlight {
 class Mailbox {
  public:
   void push(InFlight msg) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      box_.push_back(std::move(msg));
-    }
-    // Published after the push: a reader seeing size 0 may miss a message
-    // for one poll iteration, never forever.
+    std::lock_guard<std::mutex> lock(mutex_);
+    box_.push_back(std::move(msg));
+    // Inside the critical section so the counter can never run behind a
+    // concurrent drain's fetch_sub and wrap below zero; the reader's
+    // lock-free probe stays at most one poll stale, never forever.
     approx_size_.fetch_add(1, std::memory_order_release);
   }
 

@@ -63,9 +63,15 @@ struct Kernel::Cluster {
 
   std::uint64_t idle_streak = 0;
   NodeStats stats;
+  OptimismThrottle throttle;
 
   /// Watchdog progress counter (relaxed; owner increments per batch).
   std::atomic<std::uint64_t> exec_ticks{0};
+
+  /// Set by the owner when its next pending work sits beyond the optimism
+  /// window: only a GVT advance can unblock it, so the controller starts
+  /// the next round early instead of waiting out the full interval.
+  std::atomic<bool> window_blocked{false};
 
   void push_sched(SimTime t, LpId lp) {
     if (t != kEndOfTime) {
@@ -165,10 +171,18 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
                         << " >= num_nodes");
     runtimes_.emplace_back(i, lps_[i], cfg_.state_period);
   }
+  // Adaptive mode with no explicit window starts at a horizon-relative
+  // guess instead of fully open: the controller converges either way, but
+  // short runs never amortize the initial storm an open window invites.
+  SimTime base_window = cfg_.optimism_window;
+  if (cfg_.throttle.mode == ThrottleMode::kAdaptive && base_window == 0) {
+    base_window = std::max(cfg_.throttle.min_window, cfg_.end_time / 16);
+  }
   clusters_.reserve(cfg_.num_nodes);
   for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
     clusters_.push_back(std::make_unique<Cluster>());
     clusters_.back()->node = n;
+    clusters_.back()->throttle = OptimismThrottle(cfg_.throttle, base_window);
   }
   for (LpId i = 0; i < lps_.size(); ++i) {
     clusters_[node_of_[i]]->own_lps.push_back(i);
@@ -223,6 +237,7 @@ void Kernel::node_main(std::uint32_t node) {
           if (res.secondary) ++cl.stats.secondary_rollbacks;
           else ++cl.stats.primary_rollbacks;
           cl.stats.events_rolled_back += res.unprocessed_events;
+          cl.throttle.note_rollback(res.unprocessed_events);
           for (Event& anti : res.antis) {
             cl.pending.push_back(anti);
           }
@@ -259,6 +274,9 @@ void Kernel::node_main(std::uint32_t node) {
       local = std::min(local, cl.holding.min_recv_time());
       gvt_coord_.join(node, r, local);
       cl.my_round = r;
+      // GVT-round cadence is the throttle's control period: frequent
+      // enough to react to a storm, coarse enough to smooth over noise.
+      cl.throttle.on_round(r);
     }
     if (node == 0) controller_poll(steady_now_ns());
 
@@ -289,32 +307,50 @@ void Kernel::node_main(std::uint32_t node) {
     }
     route_pending();
 
-    // --- execute one batch (LTSF) ----------------------------------------
-    cl.clean_top(runtimes_);
+    // --- execute up to max_batches_per_poll LTSF batches ------------------
+    // Batching amortizes the per-poll overhead (mailbox probe, GVT join,
+    // fossil check) over several executions.  The window limit is
+    // re-evaluated between batches — GVT may advance mid-burst, and a
+    // routed straggler can change which LP is lowest-timestamp — so a
+    // burst never runs further ahead than a single-batch loop would.
     bool executed = false;
-    if (!cl.sched.empty()) {
+    bool blocked_by_window = false;
+    const std::uint32_t max_batches = std::max(1u, cfg_.max_batches_per_poll);
+    for (std::uint32_t b = 0; b < max_batches; ++b) {
+      cl.clean_top(runtimes_);
+      if (cl.sched.empty()) break;
       const SchedEntry top = cl.sched.front();
+      const SimTime gvt_now = gvt_.load(std::memory_order_relaxed);
+      // Saturating: near end-of-time a plain add wraps, collapsing the
+      // window and blocking the final drain (regression-tested).
       const SimTime window_limit =
-          cfg_.optimism_window == 0
-              ? kEndOfTime
-              : gvt_.load(std::memory_order_relaxed) + cfg_.optimism_window;
-      if (top.time <= window_limit) {
-        LpRuntime& rt = runtimes_[top.lp];
-        const SimTime t = rt.begin_batch(cl.batch_scratch);
-        const bool replay = rt.in_replay(t);
-        ClusterContext ctx(t, end, top.lp, &rt, &cl.pending, replay,
-                           /*init_mode=*/false);
-        rt.behavior()->execute(ctx, cl.batch_scratch);
-        if (cfg_.event_cost_ns > 0) util::busy_spin_ns(cfg_.event_cost_ns);
-        rt.commit_batch(t, cl.batch_scratch.size());
-        cl.stats.events_processed += cl.batch_scratch.size();
-        cl.exec_ticks.fetch_add(1, std::memory_order_relaxed);
-        cl.push_sched(rt.next_time(), top.lp);
-        route_pending();
-        executed = true;
+          saturating_add(gvt_now, cl.throttle.window());
+      if (top.time > window_limit) {
+        blocked_by_window = true;
+        break;
       }
+      LpRuntime& rt = runtimes_[top.lp];
+      const SimTime t = rt.begin_batch(cl.batch_scratch);
+      const bool replay = rt.in_replay(t);
+      ClusterContext ctx(t, end, top.lp, &rt, &cl.pending, replay,
+                         /*init_mode=*/false);
+      rt.behavior()->execute(ctx, cl.batch_scratch);
+      if (cfg_.event_cost_ns > 0) util::busy_spin_ns(cfg_.event_cost_ns);
+      rt.commit_batch(t, cl.batch_scratch.size());
+      cl.stats.events_processed += cl.batch_scratch.size();
+      cl.throttle.note_executed(cl.batch_scratch.size(),
+                                t > gvt_now ? t - gvt_now : 0);
+      cl.exec_ticks.fetch_add(1, std::memory_order_relaxed);
+      cl.push_sched(rt.next_time(), top.lp);
+      route_pending();
+      executed = true;
     }
+    // Only a throttled-and-otherwise-idle node asks for an early GVT
+    // round: while batches still execute, the normal cadence is fine.
+    cl.window_blocked.store(!executed && blocked_by_window,
+                            std::memory_order_relaxed);
     if (executed) {
+      ++cl.stats.exec_polls;
       cl.idle_streak = 0;
     } else {
       ++cl.stats.idle_polls;
@@ -378,14 +414,28 @@ void Kernel::controller_poll(std::uint64_t now_ns) {
   if (oom_.load(std::memory_order_relaxed)) {
     done_.store(true, std::memory_order_release);
   }
-  // Start the next round on the configured cadence.
+  // Start the next round on the configured cadence — or early, when some
+  // node reports that only a GVT advance can unblock its window-throttled
+  // work (otherwise a blocked node idles out the whole interval; under
+  // tight windows that wall-clock wait, not rollback work, dominates).
+  // A small floor keeps a persistently blocked node from degenerating the
+  // GVT into a busy loop.
   if (ctrl_started_rounds_ ==
           completed_rounds_.load(std::memory_order_relaxed) &&
-      !done_.load(std::memory_order_relaxed) &&
-      now_ns - ctrl_last_trigger_ns_ >= cfg_.gvt_interval_us * 1000) {
-    ctrl_last_trigger_ns_ = now_ns;
-    ++ctrl_started_rounds_;
-    gvt_coord_.start_round(ctrl_started_rounds_);
+      !done_.load(std::memory_order_relaxed)) {
+    const std::uint64_t interval_ns = cfg_.gvt_interval_us * 1000;
+    std::uint64_t due_ns = interval_ns;
+    for (const auto& cl : clusters_) {
+      if (cl->window_blocked.load(std::memory_order_relaxed)) {
+        due_ns = interval_ns / 16;
+        break;
+      }
+    }
+    if (now_ns - ctrl_last_trigger_ns_ >= due_ns) {
+      ctrl_last_trigger_ns_ = now_ns;
+      ++ctrl_started_rounds_;
+      gvt_coord_.start_round(ctrl_started_rounds_);
+    }
   }
 }
 
@@ -581,14 +631,19 @@ RunStats Kernel::run() {
   out.out_of_memory = oom_.load(std::memory_order_acquire);
   out.stalled = stalled_.load(std::memory_order_acquire);
   out.per_node.resize(cfg_.num_nodes);
+  out.throttle.reserve(cfg_.num_nodes);
   for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
     Cluster& cl = *clusters_[n];
     // Commit whatever the last fossil pass left behind.
     for (LpId lp : cl.own_lps) {
       cl.stats.events_committed += runtimes_[lp].finalize();
     }
+    const ThrottleSummary ts = cl.throttle.summary();
+    cl.stats.throttle_shrinks = ts.shrinks;
+    cl.stats.throttle_grows = ts.grows;
     out.per_node[n] = cl.stats;
     out.totals.merge(cl.stats);
+    out.throttle.push_back(ThrottleTrace{ts, cl.throttle.trajectory()});
   }
   out.final_states.reserve(runtimes_.size());
   out.per_lp.reserve(runtimes_.size());

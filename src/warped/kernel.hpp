@@ -24,6 +24,7 @@
 #include "warped/lp.hpp"
 #include "warped/lp_runtime.hpp"
 #include "warped/stats.hpp"
+#include "warped/throttle.hpp"
 #include "warped/types.hpp"
 
 namespace pls::warped {
@@ -47,9 +48,18 @@ struct KernelConfig {
   /// copy-state-every-event; >1 = periodic saving with coast-forward).
   std::uint32_t state_period = 1;
 
-  /// Optimism throttle: do not execute events beyond GVT + window
-  /// (0 = unlimited optimism, classic Time Warp).
+  /// Optimism throttling: never execute events beyond GVT + window.  The
+  /// window is sized per `throttle.mode` (adaptive by default — a per-node
+  /// feedback loop on the observed rollback fraction; see throttle.hpp).
+  /// `optimism_window` is the fixed window in kFixed mode and the initial
+  /// window in kAdaptive mode; 0 means unbounded / start fully open.
+  ThrottleConfig throttle;
   SimTime optimism_window = 0;
+
+  /// LTSF batching: up to this many lowest-timestamp batches execute per
+  /// main-loop iteration (window limit re-checked between batches), so the
+  /// mailbox-poll / GVT-join overhead is amortized over several executions.
+  std::uint32_t max_batches_per_poll = 8;
 
   /// Per-node live-entry limit emulating the paper's 128 MB workstations
   /// (s15850 on 2 nodes ran out of memory).  0 = unlimited.

@@ -17,6 +17,9 @@ void NodeStats::merge(const NodeStats& o) noexcept {
   idle_polls += o.idle_polls;
   idle_sleeps += o.idle_sleeps;
   peak_live_entries = std::max(peak_live_entries, o.peak_live_entries);
+  exec_polls += o.exec_polls;
+  throttle_shrinks += o.throttle_shrinks;
+  throttle_grows += o.throttle_grows;
 }
 
 std::ostream& operator<<(std::ostream& os, const RunStats& s) {
@@ -29,7 +32,17 @@ std::ostream& operator<<(std::ostream& os, const RunStats& s) {
      << ")"
      << " app_msgs=" << s.totals.inter_node_messages
      << " antis=" << s.totals.anti_messages_sent
-     << " gvt_cycles=" << s.gvt_cycles;
+     << " gvt_cycles=" << s.gvt_cycles
+     // Batching effectiveness: events per executing poll ≈ processed /
+     // exec_polls; 1.0 means LTSF batching bought nothing.
+     << " exec_polls=" << s.totals.exec_polls;
+  if (!s.throttle.empty()) {
+    os << " throttle=" << to_string(s.throttle.front().summary.mode);
+    if (s.throttle.front().summary.mode == ThrottleMode::kAdaptive) {
+      os << " (shrinks=" << s.totals.throttle_shrinks
+         << ", grows=" << s.totals.throttle_grows << ")";
+    }
+  }
   if (s.out_of_memory) os << " OOM";
   if (s.stalled) os << " STALLED";
   return os;

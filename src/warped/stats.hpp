@@ -7,6 +7,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "warped/throttle.hpp"
 #include "warped/types.hpp"
 
 namespace pls::warped {
@@ -30,6 +31,10 @@ struct NodeStats {
   std::uint64_t idle_sleeps = 0;  ///< idle-backoff naps (core released)
   std::size_t peak_live_entries = 0;  ///< memory high-water mark
 
+  std::uint64_t exec_polls = 0;   ///< main-loop polls that executed >= 1 batch
+  std::uint64_t throttle_shrinks = 0;  ///< adaptive window contractions
+  std::uint64_t throttle_grows = 0;    ///< adaptive window expansions
+
   void merge(const NodeStats& o) noexcept;
 };
 
@@ -40,6 +45,13 @@ struct LpStats {
   std::uint64_t events_rolled_back = 0;
   std::uint64_t rollbacks = 0;           ///< primary + secondary
   std::uint64_t max_rollback_depth = 0;  ///< most events undone at once
+};
+
+/// Per-node optimism-throttle outcome: the controller's summary counters
+/// plus the recorded window trajectory (capped; see ThrottleConfig).
+struct ThrottleTrace {
+  ThrottleSummary summary;
+  std::vector<ThrottleDecision> decisions;
 };
 
 struct RunStats {
@@ -53,6 +65,7 @@ struct RunStats {
   NodeStats totals;                 ///< aggregated over nodes
   std::vector<NodeStats> per_node;
   std::vector<LpStats> per_lp;      ///< indexed by LpId
+  std::vector<ThrottleTrace> throttle;  ///< indexed by node
 
   /// Final committed state of every LP, for sequential-equivalence checks.
   std::vector<LpState> final_states;

@@ -16,6 +16,14 @@ namespace pls::warped {
 using SimTime = std::uint64_t;
 inline constexpr SimTime kEndOfTime = ~SimTime{0};
 
+/// Saturating virtual-time addition: clamps to kEndOfTime instead of
+/// wrapping.  Window arithmetic (GVT + optimism window) must use this — a
+/// wrapped sum collapses the execution window to a tiny value exactly when
+/// GVT approaches end-of-time, blocking the final drain under throttling.
+constexpr SimTime saturating_add(SimTime a, SimTime b) noexcept {
+  return a > kEndOfTime - b ? kEndOfTime : a + b;
+}
+
 using LpId = std::uint32_t;
 inline constexpr LpId kInvalidLp = ~LpId{0};
 

@@ -107,6 +107,9 @@ TEST(EquivalenceExtras, OptimismWindowPreservesResults) {
   framework::DriverConfig cfg = fast_config();
   cfg.partitioner = "Multilevel";
   cfg.num_nodes = 4;
+  // Explicitly fixed: under the adaptive default this would only be the
+  // initial window, not the hard bound the test name promises.
+  cfg.throttle.mode = warped::ThrottleMode::kFixed;
   cfg.optimism_window = 50;
 
   const auto& c = property_circuit();

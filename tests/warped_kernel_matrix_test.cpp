@@ -94,6 +94,7 @@ struct MatrixParam {
   std::uint64_t latency_ns;
   std::uint32_t state_period;
   SimTime window;
+  ThrottleMode mode;
 };
 
 class KernelMatrix : public ::testing::TestWithParam<MatrixParam> {};
@@ -118,6 +119,7 @@ TEST_P(KernelMatrix, StarResultsAreNodeCountInvariant) {
   cfg.network.latency_ns = prm.latency_ns;
   cfg.network.send_overhead_ns = prm.latency_ns / 20;
   cfg.state_period = prm.state_period;
+  cfg.throttle.mode = prm.mode;
   cfg.optimism_window = prm.window;
   cfg.gvt_interval_us = 500;
   std::vector<std::uint32_t> node_of(kSpokes + 1);
@@ -141,19 +143,26 @@ TEST_P(KernelMatrix, StarResultsAreNodeCountInvariant) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configurations, KernelMatrix,
-    ::testing::Values(MatrixParam{2, 0, 1, 0}, MatrixParam{2, 20000, 1, 0},
-                      MatrixParam{3, 5000, 1, 0},
-                      MatrixParam{4, 20000, 1, 0},
-                      MatrixParam{4, 20000, 4, 0},
-                      MatrixParam{4, 20000, 1, 30},
-                      MatrixParam{4, 5000, 8, 15},
-                      MatrixParam{8, 10000, 3, 0},
-                      MatrixParam{8, 40000, 1, 50}),
+    ::testing::Values(
+        MatrixParam{2, 0, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{2, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{3, 5000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 20000, 4, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 20000, 1, 30, ThrottleMode::kFixed},
+        MatrixParam{4, 5000, 8, 15, ThrottleMode::kFixed},
+        MatrixParam{8, 10000, 3, 0, ThrottleMode::kUnlimited},
+        MatrixParam{8, 40000, 1, 50, ThrottleMode::kFixed},
+        // Adaptive throttling must preserve the committed results under
+        // both copy-state and periodic state saving.
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kAdaptive},
+        MatrixParam{8, 10000, 3, 0, ThrottleMode::kAdaptive}),
     [](const auto& info) {
       return "n" + std::to_string(info.param.nodes) + "_lat" +
              std::to_string(info.param.latency_ns / 1000) + "us_sp" +
              std::to_string(info.param.state_period) + "_w" +
-             std::to_string(info.param.window);
+             std::to_string(info.param.window) + "_" +
+             to_string(info.param.mode);
     });
 
 TEST(KernelMatrixExtras, RepeatedRunsAreStable) {

@@ -156,6 +156,9 @@ TEST(Kernel, PeriodicStateSavingMatchesEveryEvent) {
 TEST(Kernel, OptimismWindowStillCorrect) {
   KernelConfig cfg;
   cfg.end_time = 300;
+  // Explicitly fixed: the default mode is adaptive, where optimism_window
+  // is only the initial value — this test covers the hard-bounded path.
+  cfg.throttle.mode = ThrottleMode::kFixed;
   cfg.optimism_window = 20;
   const RunStats out = run_ring(10, 3, cfg);
   const RunStats ref = run_ring(10, 1, KernelConfig{.end_time = 300});

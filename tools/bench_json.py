@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Convert a bench-harness CSV into a BENCH_*.json trajectory file.
+
+The repo keeps machine-readable snapshots of the paper-reproduction
+benches (BENCH_fig4.json / BENCH_fig6.json / BENCH_table2.json) so the
+result trajectory is diffable across PRs; CI regenerates them from the
+smoke run at a fixed --scale and uploads them as workflow artifacts.
+
+Usage:
+    bench_json.py <in.csv> <out.json> [key=value ...]
+
+Extra key=value pairs are recorded under "config" (e.g. scale=0.1
+throttle=adaptive,unlimited) so a snapshot documents how it was produced.
+Numeric-looking cells are emitted as JSON numbers.
+"""
+
+import csv
+import json
+import sys
+
+
+def _num(cell: str):
+    try:
+        return int(cell)
+    except ValueError:
+        try:
+            return float(cell)
+        except ValueError:
+            return cell
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    in_csv, out_json = argv[1], argv[2]
+    config = {}
+    for pair in argv[3:]:
+        key, _, value = pair.partition("=")
+        config[key] = _num(value)
+
+    with open(in_csv, newline="") as f:
+        rows = [{k: _num(v) for k, v in row.items()}
+                for row in csv.DictReader(f)]
+
+    doc = {
+        "bench": in_csv.rsplit("/", 1)[-1].removesuffix(".csv"),
+        "config": config,
+        "rows": rows,
+    }
+    with open(out_json, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"{out_json}: {len(rows)} rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
