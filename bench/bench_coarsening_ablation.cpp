@@ -11,6 +11,7 @@
 
 #include "bench_common.hpp"
 #include "logicsim/activity.hpp"
+#include "multilevel/weights.hpp"
 #include "partition/metrics.hpp"
 #include "partition/multilevel_partitioner.hpp"
 #include "util/csv.hpp"
@@ -25,15 +26,19 @@ int main(int argc, char** argv) {
   cli.add_flag("circuit", "benchmark", "s9234");
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
+  bench::require_activity_off(cfg, "bench_coarsening_ablation");
   const auto k = static_cast<std::uint32_t>(bench::get_flag_u64(cli, "k", 1, 1024));
   const std::string name = cli.get("circuit");
 
   const circuit::Circuit c = bench::make_benchmark(name, cfg);
 
-  // Shared activity profile from a sequential pre-simulation.
+  // Shared activity profile from a sequential pre-simulation, mapped to
+  // the work/traffic weights both multilevel pipelines consume.
   framework::DriverConfig base = bench::driver_config(cfg, "Multilevel", k);
-  const std::vector<double> activity =
+  const logicsim::ActivityProfile activity =
       logicsim::profile_activity(c, base.model, cfg.end_time / 4);
+  const multilevel::VertexTrafficWeights weights =
+      multilevel::weights_from_activity(activity.work, activity.traffic);
 
   struct Variant {
     const char* label;
@@ -56,7 +61,7 @@ int main(int argc, char** argv) {
   for (const Variant& v : variants) {
     framework::DriverConfig dc = bench::driver_config(cfg, "Multilevel", k);
     dc.multilevel.scheme = v.scheme;
-    if (v.use_activity) dc.multilevel.activity = &activity;
+    if (v.use_activity) dc.multilevel.weights = &weights;
     const framework::DriverResult res = framework::run_parallel(c, dc);
     table.add_row({v.label, std::to_string(res.edge_cut),
                    util::AsciiTable::num(res.imbalance, 3),

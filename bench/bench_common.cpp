@@ -1,12 +1,39 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "circuit/generator.hpp"
 #include "framework/registry.hpp"
 #include "util/check.hpp"
 
 namespace pls::bench {
+namespace {
+
+/// Split a comma-separated mode spec, dedup order-preserving; `resolve`
+/// validates each token (failing fast on junk) and may rewrite it.
+std::vector<std::string> split_modes(
+    const std::string& flag, const std::string& spec,
+    const std::function<std::string(const std::string&)>& resolve) {
+  std::vector<std::string> modes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string tok =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    const std::string mode = resolve(tok);
+    if (std::find(modes.begin(), modes.end(), mode) == modes.end()) {
+      modes.push_back(mode);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  PLS_CHECK_MSG(!modes.empty(), "--" << flag << ": empty mode list");
+  return modes;
+}
+
+}  // namespace
 
 void add_common_flags(util::Cli& cli) {
   cli.add_flag("scale", "circuit size multiplier (1.0 = paper sizes)", "1.0");
@@ -24,6 +51,10 @@ void add_common_flags(util::Cli& cli) {
                "optimism throttle mode(s): auto | adaptive | fixed | "
                "unlimited, comma-separated for mode columns",
                "auto");
+  cli.add_flag("activity",
+               "activity-guided partitioning mode(s): off | profile | "
+               "warmup, comma-separated for unweighted-vs-activity columns",
+               "off");
   cli.add_flag("rollback-budget",
                "adaptive throttle: target rolled-back/processed fraction",
                "0.2");
@@ -64,6 +95,7 @@ BenchConfig config_from_cli(const util::Cli& cli) {
   cfg.optimism_window =
       get_flag_u64(cli, "window", 0, std::uint64_t{1} << 60);
   cfg.throttle = cli.get("throttle");
+  cfg.activity = cli.get("activity");
   cfg.rollback_budget = cli.get_double("rollback-budget");
   cfg.max_batches_per_poll =
       static_cast<std::uint32_t>(get_flag_u64(cli, "batch", 1, 1 << 20));
@@ -77,50 +109,86 @@ BenchConfig config_from_cli(const util::Cli& cli) {
   PLS_CHECK_MSG(cfg.rollback_budget > 0.0 && cfg.rollback_budget < 1.0,
                 "--rollback-budget must be in (0, 1)");
   throttle_modes(cfg);  // fail fast on a malformed --throttle spec
+  activity_modes(cfg);  // ... and on a malformed --activity spec
   return cfg;
 }
 
-std::vector<warped::ThrottleMode> throttle_modes(const BenchConfig& cfg) {
-  std::vector<warped::ThrottleMode> modes;
-  std::size_t start = 0;
-  while (start <= cfg.throttle.size()) {
-    const std::size_t comma = cfg.throttle.find(',', start);
-    const std::string tok =
-        cfg.throttle.substr(start, comma == std::string::npos
-                                       ? std::string::npos
-                                       : comma - start);
-    warped::ThrottleMode mode;
-    if (tok == "auto") {
-      // Historical semantics: --window N used to mean a fixed window.
-      mode = cfg.optimism_window > 0 ? warped::ThrottleMode::kFixed
-                                     : warped::ThrottleMode::kAdaptive;
-    } else {
-      PLS_CHECK_MSG(warped::parse_throttle_mode(tok, &mode),
-                    "--throttle: unknown mode '"
-                        << tok << "' (want auto|adaptive|fixed|unlimited)");
-    }
-    if (std::find(modes.begin(), modes.end(), mode) == modes.end()) {
-      modes.push_back(mode);
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+std::vector<std::string> activity_modes(const BenchConfig& cfg) {
+  return split_modes("activity", cfg.activity, [](const std::string& tok) {
+    PLS_CHECK_MSG(tok == "off" || tok == "profile" || tok == "warmup",
+                  "--activity: unknown mode '"
+                      << tok << "' (want off|profile|warmup)");
+    return tok;
+  });
+}
+
+void require_activity_off(const BenchConfig& cfg, const char* bench_name) {
+  PLS_CHECK_MSG(cfg.activity == "off",
+                bench_name << " builds its own weighting variants and does "
+                              "not sweep --activity (got '"
+                           << cfg.activity
+                           << "'); use bench_partition_quality or the "
+                              "fig4/fig5/fig6/table2 harnesses instead");
+}
+
+void apply_activity(framework::DriverConfig& dc, const std::string& mode) {
+  if (mode == "off") {
+    dc.use_activity = false;
+    return;
   }
-  PLS_CHECK_MSG(!modes.empty(), "--throttle: empty mode list");
+  dc.use_activity = true;
+  dc.activity_source = mode == "warmup"
+                           ? framework::DriverConfig::ActivitySource::kWarmup
+                           : framework::DriverConfig::ActivitySource::kProfile;
+}
+
+std::vector<SweepCell> sweep_cells(const BenchConfig& cfg) {
+  const auto tmodes = throttle_modes(cfg);
+  const auto amodes = activity_modes(cfg);
+  std::vector<SweepCell> cells;
+  for (const auto& act : amodes) {
+    for (const auto tmode : tmodes) {
+      for (const auto& strategy : strategies()) {
+        if (act != "off" && !framework::strategy_consumes_weights(strategy)) {
+          continue;
+        }
+        SweepCell cell{tmode, act, strategy, strategy};
+        if (tmodes.size() > 1) {
+          cell.label += std::string("@") + warped::to_string(tmode);
+        }
+        if (amodes.size() > 1 && act != "off") cell.label += "+" + act;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<warped::ThrottleMode> throttle_modes(const BenchConfig& cfg) {
+  const auto names =
+      split_modes("throttle", cfg.throttle, [&](const std::string& tok) {
+        warped::ThrottleMode mode;
+        if (tok == "auto") {
+          // Historical semantics: --window N used to mean a fixed window.
+          mode = cfg.optimism_window > 0 ? warped::ThrottleMode::kFixed
+                                         : warped::ThrottleMode::kAdaptive;
+        } else {
+          PLS_CHECK_MSG(warped::parse_throttle_mode(tok, &mode),
+                        "--throttle: unknown mode '"
+                            << tok
+                            << "' (want auto|adaptive|fixed|unlimited)");
+        }
+        return std::string(warped::to_string(mode));
+      });
+  std::vector<warped::ThrottleMode> modes;
+  for (const auto& name : names) {
+    warped::ThrottleMode mode;
+    PLS_CHECK(warped::parse_throttle_mode(name, &mode));
+    modes.push_back(mode);
+  }
   return modes;
 }
 
-std::vector<std::string> mode_strategy_columns(
-    const std::vector<warped::ThrottleMode>& modes) {
-  std::vector<std::string> cols;
-  for (const auto mode : modes) {
-    for (const auto& s : strategies()) {
-      cols.push_back(modes.size() == 1
-                         ? s
-                         : s + "@" + warped::to_string(mode));
-    }
-  }
-  return cols;
-}
 
 circuit::Circuit make_benchmark(const std::string& name,
                                 const BenchConfig& cfg) {
@@ -166,31 +234,23 @@ framework::DriverConfig driver_config(const BenchConfig& cfg,
   dc.model.clock_period = cfg.clock_period;
   dc.model.clock_phase = cfg.clock_period / 2;
   dc.max_live_entries_per_node = cfg.max_live_entries_per_node;
+  // --activity is deliberately NOT applied here: partition-only and
+  // ablation callers build their own weighting, and silently activity-
+  // weighting their baseline rows would corrupt the comparison.  Sweeping
+  // callers go through apply_activity / run_parallel_averaged per cell.
   return dc;
 }
 
 AveragedRun run_parallel_averaged(const circuit::Circuit& c,
                                   const BenchConfig& cfg,
                                   const std::string& partitioner,
-                                  std::uint32_t nodes) {
-  const auto modes = throttle_modes(cfg);
-  // Benches without throttle-mode columns run exactly one mode; silently
-  // dropping the rest of a list would mislabel their output.
-  PLS_CHECK_MSG(modes.size() == 1,
-                "--throttle lists " << modes.size()
-                                    << " modes, but this bench sweeps a "
-                                       "single mode — pass just one");
-  return run_parallel_averaged(c, cfg, partitioner, nodes, modes.front());
-}
-
-AveragedRun run_parallel_averaged(const circuit::Circuit& c,
-                                  const BenchConfig& cfg,
-                                  const std::string& partitioner,
                                   std::uint32_t nodes,
-                                  warped::ThrottleMode mode) {
+                                  warped::ThrottleMode mode,
+                                  const std::string& activity_mode) {
   AveragedRun avg;
   framework::DriverConfig base = driver_config(cfg, partitioner, nodes);
   base.throttle.mode = mode;
+  apply_activity(base, activity_mode);
   for (std::uint32_t r = 0; r < cfg.repeats; ++r) {
     framework::DriverConfig dc = base;
     dc.seed = cfg.seed + r;  // paper: repeated five times, averaged

@@ -47,6 +47,11 @@ struct BenchConfig {
   /// any comma-separated list of adaptive|fixed|unlimited — benches with
   /// throttle-mode columns sweep the list.
   std::string throttle = "auto";
+  /// Activity-guided partitioning spec from --activity: comma-separated
+  /// list of off|profile|warmup (see DriverConfig::use_activity /
+  /// activity_source).  Benches with activity column groups sweep the
+  /// list; non-"off" modes only apply to the multilevel strategies.
+  std::string activity = "off";
   /// Target rollback fraction for the adaptive controller.
   double rollback_budget = 0.20;
   /// LTSF batches per kernel main-loop iteration.
@@ -80,10 +85,31 @@ std::uint64_t get_flag_u64(const util::Cli& cli, const std::string& name,
 /// cfg.optimism_window; a comma-separated list expands in order, deduped).
 std::vector<warped::ThrottleMode> throttle_modes(const BenchConfig& cfg);
 
-/// Strategy column labels for a throttle-mode sweep: plain strategy names
-/// for a single mode, "Strategy@mode" per mode-group otherwise.
-std::vector<std::string> mode_strategy_columns(
-    const std::vector<warped::ThrottleMode>& modes);
+/// Resolve cfg.activity into concrete driver modes ("off" / "profile" /
+/// "warmup"), deduped, order-preserving; rejects unknown tokens.
+std::vector<std::string> activity_modes(const BenchConfig& cfg);
+
+/// Fail fast unless --activity is plain "off" — for benches that build
+/// their own weighting variants (the ablations) and would otherwise
+/// silently ignore or corrupt the flag.
+void require_activity_off(const BenchConfig& cfg, const char* bench_name);
+
+/// Configure one activity mode on a driver config.
+void apply_activity(framework::DriverConfig& dc, const std::string& mode);
+
+/// One cell of a (throttle × activity × strategy) sweep.  Activity modes
+/// other than "off" only pair with the weight-consuming strategies, so a
+/// sweep stays honest: no silently-ignored use_activity cells.
+struct SweepCell {
+  warped::ThrottleMode throttle;
+  std::string activity;
+  std::string strategy;
+  std::string label;  ///< "Strategy[@throttle][+activity]" column header
+};
+
+/// Cross product of --throttle and --activity with the per-mode strategy
+/// sets; suffixes appear in labels only for dimensions actually swept.
+std::vector<SweepCell> sweep_cells(const BenchConfig& cfg);
 
 /// The paper's three benchmarks, scaled.  scale=1 reproduces Table 1's
 /// exact interface counts.
@@ -95,9 +121,10 @@ circuit::Circuit make_benchmark(const std::string& name,
 const std::vector<std::string>& strategies();
 
 /// Driver config preset for one parallel run.  Resolves a multi-mode
-/// --throttle list to its FIRST mode; benches that sweep modes must use
-/// the explicit-mode run_parallel_averaged overload per column group
-/// (partition-only callers never touch the throttle at all).
+/// --throttle list to its FIRST mode and leaves --activity off; sweeping
+/// benches override both per SweepCell (via run_parallel_averaged /
+/// apply_activity), and ablation-style benches that cannot honor
+/// --activity fail fast through require_activity_off.
 framework::DriverConfig driver_config(const BenchConfig& cfg,
                                       const std::string& partitioner,
                                       std::uint32_t nodes);
@@ -124,17 +151,14 @@ struct AveragedRun {
   }
 };
 
-AveragedRun run_parallel_averaged(const circuit::Circuit& c,
-                                  const BenchConfig& cfg,
-                                  const std::string& partitioner,
-                                  std::uint32_t nodes);
-
-/// Same, under an explicit throttle mode (for mode-column sweeps).
+/// Every sweeping bench names its cell explicitly (one call per
+/// SweepCell: throttle mode + activity mode + strategy).
 AveragedRun run_parallel_averaged(const circuit::Circuit& c,
                                   const BenchConfig& cfg,
                                   const std::string& partitioner,
                                   std::uint32_t nodes,
-                                  warped::ThrottleMode mode);
+                                  warped::ThrottleMode mode,
+                                  const std::string& activity_mode);
 
 /// Averaged sequential reference run.
 double run_sequential_averaged(const circuit::Circuit& c,

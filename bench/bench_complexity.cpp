@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "number of parts for the size sweep", "8");
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
+  bench::require_activity_off(cfg, "bench_complexity");
   const auto k = static_cast<std::uint32_t>(bench::get_flag_u64(cli, "k", 1, 1024));
 
   util::AsciiTable table({"Gates", "Edges", "Levels", "Cut", "Time(ms)",
@@ -57,12 +58,12 @@ int main(int argc, char** argv) {
         best_ms * 1e6 / static_cast<double>(c.num_edges());
     table.add_row({std::to_string(gates), std::to_string(c.num_edges()),
                    std::to_string(trace.level_sizes.size()),
-                   std::to_string(trace.final_cut),
+                   std::to_string(trace.final_quality),
                    util::AsciiTable::num(best_ms),
                    util::AsciiTable::num(ns_per_edge, 1)});
     csv.row({std::to_string(gates), std::to_string(c.num_edges()),
              std::to_string(trace.level_sizes.size()),
-             std::to_string(trace.final_cut),
+             std::to_string(trace.final_quality),
              util::AsciiTable::num(best_ms, 4),
              util::AsciiTable::num(ns_per_edge, 2), std::to_string(k)});
   }
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
     ml.run_traced(c9234, kk, cfg.seed, &trace);
     ktable.add_row({std::to_string(kk),
                     util::AsciiTable::num(t.elapsed_seconds() * 1e3),
-                    std::to_string(trace.final_cut)});
+                    std::to_string(trace.final_quality)});
   }
   std::printf("\nScaling with partition count on s9234\n%s",
               ktable.render().c_str());

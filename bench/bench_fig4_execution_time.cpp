@@ -30,30 +30,26 @@ int main(int argc, char** argv) {
   const double seq = bench::run_sequential_averaged(c, cfg);
   std::printf("%s sequential reference: %.2fs\n", circuit_name.c_str(), seq);
 
-  const auto modes = bench::throttle_modes(cfg);
+  const auto cells = bench::sweep_cells(cfg);
   std::vector<std::string> header{"Nodes", "Sequential"};
-  for (auto& col : bench::mode_strategy_columns(modes)) {
-    header.push_back(std::move(col));
-  }
+  for (const auto& cell : cells) header.push_back(cell.label);
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/fig4_execution_time.csv",
                       {"circuit", "nodes", "strategy", "throttle",
-                       "seconds", "seq_seconds"});
+                       "activity", "seconds", "seq_seconds"});
 
   for (std::uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes),
                                  util::AsciiTable::num(seq)};
-    for (const auto mode : modes) {
-      for (const auto& strategy : bench::strategies()) {
-        const auto avg =
-            bench::run_parallel_averaged(c, cfg, strategy, nodes, mode);
-        row.push_back(util::AsciiTable::num(avg.wall_seconds));
-        csv.row({circuit_name, std::to_string(nodes), strategy,
-                 warped::to_string(mode),
-                 util::AsciiTable::num(avg.wall_seconds, 4),
-                 util::AsciiTable::num(seq, 4)});
-        std::fflush(stdout);
-      }
+    for (const auto& cell : cells) {
+      const auto avg = bench::run_parallel_averaged(
+          c, cfg, cell.strategy, nodes, cell.throttle, cell.activity);
+      row.push_back(util::AsciiTable::num(avg.wall_seconds));
+      csv.row({circuit_name, std::to_string(nodes), cell.strategy,
+               warped::to_string(cell.throttle), cell.activity,
+               util::AsciiTable::num(avg.wall_seconds, 4),
+               util::AsciiTable::num(seq, 4)});
+      std::fflush(stdout);
     }
     table.add_row(row);
   }

@@ -27,20 +27,27 @@ int main(int argc, char** argv) {
 
   const circuit::Circuit c = bench::make_benchmark(circuit_name, cfg);
 
+  // The unweighted-vs-activity comparison lives here: --activity
+  // off,profile adds "Multilevel+profile" / "MultilevelHG+profile" column
+  // groups whose app_messages measure what traffic-weighted partitions
+  // actually save at runtime.
+  const auto cells = bench::sweep_cells(cfg);
   std::vector<std::string> header{"Nodes"};
-  for (const auto& s : bench::strategies()) header.push_back(s);
+  for (const auto& cell : cells) header.push_back(cell.label);
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/fig5_messaging.csv",
-                      {"circuit", "nodes", "strategy", "app_messages",
-                       "anti_messages", "static_comm_volume"});
+                      {"circuit", "nodes", "strategy", "throttle",
+                       "activity", "app_messages", "anti_messages",
+                       "static_comm_volume"});
 
   for (std::uint32_t nodes = 2; nodes <= max_nodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes)};
-    for (const auto& strategy : bench::strategies()) {
-      const auto avg =
-          bench::run_parallel_averaged(c, cfg, strategy, nodes);
+    for (const auto& cell : cells) {
+      const auto avg = bench::run_parallel_averaged(
+          c, cfg, cell.strategy, nodes, cell.throttle, cell.activity);
       row.push_back(util::AsciiTable::num(avg.app_messages, 0));
-      csv.row({circuit_name, std::to_string(nodes), strategy,
+      csv.row({circuit_name, std::to_string(nodes), cell.strategy,
+               warped::to_string(cell.throttle), cell.activity,
                util::AsciiTable::num(avg.app_messages, 0),
                util::AsciiTable::num(avg.anti_messages, 0),
                std::to_string(avg.last.comm_volume)});

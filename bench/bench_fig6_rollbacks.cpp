@@ -27,35 +27,32 @@ int main(int argc, char** argv) {
   const std::string circuit_name = cli.get("circuit");
 
   const circuit::Circuit c = bench::make_benchmark(circuit_name, cfg);
-  const auto modes = bench::throttle_modes(cfg);
-
-  // One column group per throttle mode (mode suffix only when sweeping
-  // several, so the single-mode table keeps its historical shape).
+  // One column group per (throttle × activity) mode pair (suffixes only
+  // when a dimension is swept, so the single-mode table keeps its
+  // historical shape).
+  const auto cells = bench::sweep_cells(cfg);
   std::vector<std::string> header{"Nodes"};
-  for (auto& col : bench::mode_strategy_columns(modes)) {
-    header.push_back(std::move(col));
-  }
+  for (const auto& cell : cells) header.push_back(cell.label);
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/fig6_rollbacks.csv",
                       {"circuit", "nodes", "strategy", "throttle",
-                       "rollbacks", "committed_events", "events_processed",
-                       "events_rolled_back", "rollback_fraction"});
+                       "activity", "rollbacks", "committed_events",
+                       "events_processed", "events_rolled_back",
+                       "rollback_fraction"});
 
   for (std::uint32_t nodes = 2; nodes <= max_nodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes)};
-    for (const auto mode : modes) {
-      for (const auto& strategy : bench::strategies()) {
-        const auto avg =
-            bench::run_parallel_averaged(c, cfg, strategy, nodes, mode);
-        row.push_back(util::AsciiTable::num(avg.rollbacks, 0));
-        csv.row({circuit_name, std::to_string(nodes), strategy,
-                 warped::to_string(mode),
-                 util::AsciiTable::num(avg.rollbacks, 0),
-                 util::AsciiTable::num(avg.committed, 0),
-                 util::AsciiTable::num(avg.events_processed, 0),
-                 util::AsciiTable::num(avg.events_rolled_back, 0),
-                 util::AsciiTable::num(avg.rollback_fraction(), 4)});
-      }
+    for (const auto& cell : cells) {
+      const auto avg = bench::run_parallel_averaged(
+          c, cfg, cell.strategy, nodes, cell.throttle, cell.activity);
+      row.push_back(util::AsciiTable::num(avg.rollbacks, 0));
+      csv.row({circuit_name, std::to_string(nodes), cell.strategy,
+               warped::to_string(cell.throttle), cell.activity,
+               util::AsciiTable::num(avg.rollbacks, 0),
+               util::AsciiTable::num(avg.committed, 0),
+               util::AsciiTable::num(avg.events_processed, 0),
+               util::AsciiTable::num(avg.events_rolled_back, 0),
+               util::AsciiTable::num(avg.rollback_fraction(), 4)});
     }
     table.add_row(row);
   }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "framework/registry.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "hypergraph/metrics.hpp"
 #include "util/csv.hpp"
@@ -29,40 +30,54 @@ int main(int argc, char** argv) {
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
   const auto k = static_cast<std::uint32_t>(bench::get_flag_u64(cli, "k", 1, 1024));
 
-  util::AsciiTable table({"Circuit", "Strategy", "EdgeCut", "HGLambda1",
-                          "HGCutNets", "Imbalance", "Concurrency",
-                          "PartTime(ms)"});
+  const auto amodes = bench::activity_modes(cfg);
+  util::AsciiTable table({"Circuit", "Strategy", "Activity", "EdgeCut",
+                          "HGLambda1", "HGCutNets", "Imbalance",
+                          "Concurrency", "PartTime(ms)"});
   // comm_volume (circuit-side) and hg_lambda1 (hypergraph-side) are
   // provably equal — both stay in the CSV deliberately: the pair is a
   // cross-check of the two implementations, and comm_volume keeps the
-  // schema of earlier runs.
+  // schema of earlier runs.  Metrics are always measured on the *unit-
+  // weight* circuit/hypergraph, so activity rows stay comparable with
+  // unweighted ones.
   util::CsvWriter csv(cfg.csv_dir + "/partition_quality.csv",
-                      {"circuit", "strategy", "k", "edge_cut", "comm_volume",
-                       "hg_lambda1", "hg_cut_nets", "imbalance", "concurrency",
-                       "partition_ms"});
+                      {"circuit", "strategy", "activity", "k", "edge_cut",
+                       "comm_volume", "hg_lambda1", "hg_cut_nets",
+                       "imbalance", "concurrency", "partition_ms"});
 
   for (const char* name : {"s5378", "s9234", "s15850"}) {
     const circuit::Circuit c = bench::make_benchmark(name, cfg);
     const hypergraph::Hypergraph hg = hypergraph::Hypergraph::from_circuit(c);
-    table.add_rule();
-    for (const auto& strategy : bench::strategies()) {
-      const framework::DriverConfig dc =
-          bench::driver_config(cfg, strategy, k);
-      const framework::DriverResult res = framework::partition_only(c, dc);
-      const std::uint64_t lambda1 =
-          hypergraph::connectivity_minus_one(hg, res.partition);
-      const std::uint64_t cut_nets = hypergraph::cut_net(hg, res.partition);
-      table.add_row({name, strategy, std::to_string(res.edge_cut),
-                     std::to_string(lambda1), std::to_string(cut_nets),
-                     util::AsciiTable::num(res.imbalance, 3),
-                     util::AsciiTable::num(res.concurrency, 3),
-                     util::AsciiTable::num(res.partition_seconds * 1e3, 2)});
-      csv.row({name, strategy, std::to_string(k),
-               std::to_string(res.edge_cut), std::to_string(res.comm_volume),
-               std::to_string(lambda1), std::to_string(cut_nets),
-               util::AsciiTable::num(res.imbalance, 4),
-               util::AsciiTable::num(res.concurrency, 4),
-               util::AsciiTable::num(res.partition_seconds * 1e3, 4)});
+    for (const auto& act : amodes) {
+      table.add_rule();
+      for (const auto& strategy : bench::strategies()) {
+        // Non-multilevel strategies cannot consume weights (the driver
+        // fails fast on that combination); only the unweighted group
+        // lists them.
+        if (act != "off" &&
+            !framework::strategy_consumes_weights(strategy)) {
+          continue;
+        }
+        framework::DriverConfig dc = bench::driver_config(cfg, strategy, k);
+        bench::apply_activity(dc, act);
+        const framework::DriverResult res = framework::partition_only(c, dc);
+        const std::uint64_t lambda1 =
+            hypergraph::connectivity_minus_one(hg, res.partition);
+        const std::uint64_t cut_nets = hypergraph::cut_net(hg, res.partition);
+        table.add_row({name, strategy, act, std::to_string(res.edge_cut),
+                       std::to_string(lambda1), std::to_string(cut_nets),
+                       util::AsciiTable::num(res.imbalance, 3),
+                       util::AsciiTable::num(res.concurrency, 3),
+                       util::AsciiTable::num(res.partition_seconds * 1e3,
+                                             2)});
+        csv.row({name, strategy, act, std::to_string(k),
+                 std::to_string(res.edge_cut),
+                 std::to_string(res.comm_volume), std::to_string(lambda1),
+                 std::to_string(cut_nets),
+                 util::AsciiTable::num(res.imbalance, 4),
+                 util::AsciiTable::num(res.concurrency, 4),
+                 util::AsciiTable::num(res.partition_seconds * 1e3, 4)});
+      }
     }
   }
 

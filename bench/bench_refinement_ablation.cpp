@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cli.add_flag("k", "number of parts", "8");
   if (!cli.parse(argc, argv)) return 1;
   const bench::BenchConfig cfg = bench::config_from_cli(cli);
+  bench::require_activity_off(cfg, "bench_refinement_ablation");
   const auto k = static_cast<std::uint32_t>(bench::get_flag_u64(cli, "k", 1, 1024));
 
   struct Variant {

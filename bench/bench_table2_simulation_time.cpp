@@ -31,15 +31,13 @@ int main(int argc, char** argv) {
   cfg.max_live_entries_per_node = static_cast<std::size_t>(
       bench::get_flag_u64(cli, "oom-limit", 0, std::uint64_t{1} << 40));
 
-  const auto modes = bench::throttle_modes(cfg);
+  const auto cells = bench::sweep_cells(cfg);
   std::vector<std::string> header{"Circuit", "Seq Time", "Nodes"};
-  for (auto& col : bench::mode_strategy_columns(modes)) {
-    header.push_back(std::move(col));
-  }
+  for (const auto& cell : cells) header.push_back(cell.label);
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/table2_simulation_time.csv",
                       {"circuit", "seq_seconds", "nodes", "strategy",
-                       "throttle", "seconds", "oom"});
+                       "throttle", "activity", "seconds", "oom"});
 
   for (const char* name : {"s5378", "s9234", "s15850"}) {
     const circuit::Circuit c = bench::make_benchmark(name, cfg);
@@ -54,20 +52,18 @@ int main(int argc, char** argv) {
           first_row ? name : "", first_row ? util::AsciiTable::num(seq) : "",
           std::to_string(nodes)};
       first_row = false;
-      for (const auto mode : modes) {
-        for (const auto& strategy : bench::strategies()) {
-          const auto avg =
-              bench::run_parallel_averaged(c, cfg, strategy, nodes, mode);
-          row.push_back(avg.out_of_memory
-                            ? "-"
-                            : util::AsciiTable::num(avg.wall_seconds));
-          csv.row({name, util::AsciiTable::num(seq, 4),
-                   std::to_string(nodes), strategy,
-                   warped::to_string(mode),
-                   util::AsciiTable::num(avg.wall_seconds, 4),
-                   avg.out_of_memory ? "1" : "0"});
-          std::fflush(stdout);
-        }
+      for (const auto& cell : cells) {
+        const auto avg = bench::run_parallel_averaged(
+            c, cfg, cell.strategy, nodes, cell.throttle, cell.activity);
+        row.push_back(avg.out_of_memory
+                          ? "-"
+                          : util::AsciiTable::num(avg.wall_seconds));
+        csv.row({name, util::AsciiTable::num(seq, 4),
+                 std::to_string(nodes), cell.strategy,
+                 warped::to_string(cell.throttle), cell.activity,
+                 util::AsciiTable::num(avg.wall_seconds, 4),
+                 avg.out_of_memory ? "1" : "0"});
+        std::fflush(stdout);
       }
       table.add_row(row);
     }

@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
   std::printf("multilevel hierarchy: %zu gates", c.size());
   for (std::size_t s : trace.level_sizes) std::printf(" -> %zu", s);
   std::printf(" globules\ninitial cut %llu",
-              static_cast<unsigned long long>(trace.initial_cut));
-  for (std::uint64_t cut : trace.cut_after_level) {
+              static_cast<unsigned long long>(trace.initial_quality));
+  for (std::uint64_t cut : trace.quality_after_level) {
     std::printf(" -> %llu", static_cast<unsigned long long>(cut));
   }
   std::printf(" (refined per level, coarsest to original)\n\n");
@@ -79,8 +79,8 @@ int main(int argc, char** argv) {
   std::printf("hypergraph hierarchy: %zu gates", c.size());
   for (std::size_t s : hg_trace.level_sizes) std::printf(" -> %zu", s);
   std::printf(" globules\ninitial lambda-1 %llu",
-              static_cast<unsigned long long>(hg_trace.initial_lambda));
-  for (std::uint64_t v : hg_trace.lambda_after_level) {
+              static_cast<unsigned long long>(hg_trace.initial_quality));
+  for (std::uint64_t v : hg_trace.quality_after_level) {
     std::printf(" -> %llu", static_cast<unsigned long long>(v));
   }
   std::printf(" (refined per level, coarsest to original)\n");

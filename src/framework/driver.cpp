@@ -9,17 +9,62 @@
 namespace pls::framework {
 namespace {
 
+/// Short unweighted parallel pre-run with the same strategy and stimulus;
+/// each LP's committed event/send counts are its measured useful work and
+/// traffic — the same two signals the sequential profile derives, but
+/// observed under the real optimistic execution.
+logicsim::ActivityProfile warmup_activity(const circuit::Circuit& c,
+                                          const DriverConfig& cfg,
+                                          warped::SimTime horizon) {
+  DriverConfig warm = cfg;
+  warm.use_activity = false;
+  warm.end_time = horizon;
+  const DriverResult wres = run_parallel(c, warm);
+  std::vector<std::uint64_t> events(wres.run.per_lp.size(), 0);
+  std::vector<std::uint64_t> transitions(wres.run.per_lp.size(), 0);
+  for (std::size_t lp = 0; lp < events.size(); ++lp) {
+    events[lp] = wres.run.per_lp[lp].events_committed;
+    const std::size_t fanout = c.fanouts(lp).size();
+    const std::uint64_t sends = wres.run.per_lp[lp].sends_committed;
+    transitions[lp] = fanout > 0 ? sends / fanout : sends;
+  }
+  logicsim::ActivityProfile profile;
+  profile.work = logicsim::normalize_counts(events);
+  profile.traffic = logicsim::normalize_counts(transitions);
+  return profile;
+}
+
 DriverResult partition_circuit(const circuit::Circuit& c,
                                const DriverConfig& cfg) {
   DriverResult res;
 
   partition::MultilevelOptions ml = cfg.multilevel;
-  std::vector<double> activity;
-  if (cfg.use_activity && cfg.partitioner == "Multilevel") {
-    // Profile with a quarter of the simulation horizon: long enough to see
-    // steady-state switching rates, short next to the real run.
-    activity = logicsim::profile_activity(c, cfg.model, cfg.end_time / 4);
-    ml.activity = &activity;
+  multilevel::VertexTrafficWeights weights;
+  if (cfg.use_activity) {
+    PLS_CHECK_MSG(
+        strategy_consumes_weights(cfg.partitioner),
+        "use_activity requires a strategy that consumes weights "
+        "(\"Multilevel\" or \"MultilevelHG\"); it would be silently "
+        "ignored by '"
+            << cfg.partitioner << "'");
+    util::WallTimer atimer;
+    const warped::SimTime horizon =
+        cfg.activity_horizon != 0 ? cfg.activity_horizon : cfg.end_time / 4;
+    logicsim::ActivityProfile profile;
+    if (cfg.activity_source == DriverConfig::ActivitySource::kProfile) {
+      // Profile the exact stimulus the measured run will see.
+      logicsim::ModelOptions mo = cfg.model;
+      mo.stim_seed = cfg.seed;
+      profile = logicsim::profile_activity(c, mo, horizon);
+      res.activity_mode = "profile";
+    } else {
+      profile = warmup_activity(c, cfg, horizon);
+      res.activity_mode = "warmup";
+    }
+    weights = multilevel::weights_from_activity(profile.work, profile.traffic,
+                                                cfg.weight_options);
+    ml.weights = &weights;
+    res.activity_seconds = atimer.elapsed_seconds();
   }
 
   const auto strategy = make_partitioner(cfg.partitioner, ml);

@@ -15,6 +15,7 @@
 #include "circuit/circuit.hpp"
 #include "logicsim/netlist_lps.hpp"
 #include "logicsim/sequential.hpp"
+#include "multilevel/weights.hpp"
 #include "partition/multilevel_partitioner.hpp"
 #include "partition/partition.hpp"
 #include "warped/kernel.hpp"
@@ -50,15 +51,34 @@ struct DriverConfig {
   std::size_t max_live_entries_per_node = 0;
   std::uint64_t watchdog_timeout_ms = 30000;  ///< 0 disables the watchdog
 
-  /// Run an activity pre-simulation and use activity-weighted coarsening
-  /// (multilevel only; paper §6 extension).
+  /// Activity-guided partitioning (paper §6 extension + D'Angelo-style
+  /// runtime feedback): a short pre-run derives per-gate activity, the
+  /// (hyper)graph is re-weighted (multilevel::weights_from_activity) and
+  /// repartitioned with real work/traffic weights before the measured run.
+  /// Only the multilevel strategies consume weights — enabling this with
+  /// any other strategy is a configuration error (PLS_CHECK_MSG names the
+  /// offending strategy rather than silently ignoring the flag).
   bool use_activity = false;
+  enum class ActivitySource {
+    kProfile,  ///< sequential pre-simulation (logicsim::profile_activity)
+    kWarmup,   ///< short unweighted parallel run; per-LP committed-event
+               ///< counts (RunStats::per_lp) are the activity signal
+  };
+  ActivitySource activity_source = ActivitySource::kProfile;
+  /// Virtual-time horizon of the pre-run (0 = end_time / 4: long enough
+  /// for steady-state switching rates, short next to the real run).
+  warped::SimTime activity_horizon = 0;
+  /// Activity → weight mapping knobs (caps, traffic granularity).
+  multilevel::WeightOptions weight_options;
   partition::MultilevelOptions multilevel;
 };
 
 struct DriverResult {
   partition::Partition partition;
   double partition_seconds = 0.0;  ///< time spent partitioning
+  /// Activity-guided mode actually applied: "off", "profile" or "warmup".
+  std::string activity_mode = "off";
+  double activity_seconds = 0.0;  ///< pre-run + reweighting time
 
   // Static quality metrics of the chosen partition.
   std::uint64_t edge_cut = 0;

@@ -13,6 +13,10 @@ const std::vector<std::string>& partitioner_names() {
   return kNames;
 }
 
+bool strategy_consumes_weights(const std::string& name) {
+  return name == "Multilevel" || name == "MultilevelHG";
+}
+
 std::unique_ptr<partition::Partitioner> make_partitioner(
     const std::string& name, const partition::MultilevelOptions& ml) {
   using namespace partition;
@@ -27,11 +31,12 @@ std::unique_ptr<partition::Partitioner> make_partitioner(
   if (name == "MultilevelHG") {
     // Shares the multilevel knobs that have hypergraph equivalents, so a
     // head-to-head comparison runs both pipelines at the same imbalance
-    // tolerance and refinement budget.
+    // tolerance, refinement budget, and activity weighting.
     hypergraph::MultilevelHGOptions hgo;
     hgo.balance_tol = ml.balance_tol;
     hgo.refine_iters = ml.refine_iters;
     hgo.coarsen_threshold = ml.coarsen_threshold;
+    hgo.weights = ml.weights;
     return std::make_unique<hypergraph::MultilevelHGPartitioner>(hgo);
   }
   PLS_CHECK_MSG(false, "unknown partitioner '" << name << "'");

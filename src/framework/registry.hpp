@@ -20,6 +20,11 @@ namespace pls::framework {
 /// All registered strategy names, in the paper's presentation order.
 const std::vector<std::string>& partitioner_names();
 
+/// True when `name` consumes multilevel activity weights (the multilevel
+/// pair).  DriverConfig::use_activity requires such a strategy, and bench
+/// activity sweeps list only these in their non-"off" column groups.
+bool strategy_consumes_weights(const std::string& name);
+
 /// Instantiate a strategy by name; `ml` customizes the multilevel
 /// algorithm (ignored for the baselines).  Throws util::CheckError for
 /// unknown names.

@@ -119,7 +119,7 @@ HgHierarchy coarsen(const circuit::Circuit& c, const HgCoarsenOptions& opt) {
   util::Rng rng(opt.seed);
 
   HgHierarchy h;
-  h.base = Hypergraph::from_circuit(c);
+  h.base = Hypergraph::from_circuit(c, opt.weights);
   h.base_contains_input.assign(c.size(), 0);
   for (circuit::GateId pi : c.primary_inputs()) h.base_contains_input[pi] = 1;
 

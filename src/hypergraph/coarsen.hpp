@@ -20,6 +20,7 @@
 
 #include "circuit/circuit.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "multilevel/weights.hpp"
 
 namespace pls::hypergraph {
 
@@ -34,6 +35,11 @@ struct HgCoarsenOptions {
   /// Nets with more pins than this are ignored when rating matches (they
   /// are almost never removable from the cut, and rating them is O(|e|²)).
   std::size_t rating_pin_limit = 64;
+  /// Optional activity-derived weights: H0 is built with per-gate work
+  /// vertex weights and per-driver traffic net weights (see
+  /// Hypergraph::from_circuit).  Must outlive the coarsen() call; nullptr
+  /// means unit weights.
+  const multilevel::VertexTrafficWeights* weights = nullptr;
 };
 
 /// One coarse level derived from the level above it.

@@ -34,11 +34,25 @@ Hypergraph::Hypergraph(std::vector<std::uint32_t> vertex_weights,
 }
 
 Hypergraph Hypergraph::from_circuit(const circuit::Circuit& c) {
+  return from_circuit(c, nullptr);
+}
+
+Hypergraph Hypergraph::from_circuit(const circuit::Circuit& c,
+                                    const multilevel::VertexTrafficWeights* w) {
   PLS_CHECK_MSG(c.frozen(), "from_circuit requires a frozen circuit");
-  Hypergraph hg;
   const std::size_t n = c.size();
-  hg.vweight_.assign(n, 1);
-  hg.total_weight_ = n;
+  if (w != nullptr) {
+    PLS_CHECK_MSG(w->vertex.size() == n && w->traffic.size() == n,
+                  "weights must cover every gate");
+  }
+  Hypergraph hg;
+  if (w != nullptr) {
+    hg.vweight_.assign(w->vertex.begin(), w->vertex.end());
+  } else {
+    hg.vweight_.assign(n, 1);
+  }
+  hg.total_weight_ = std::accumulate(hg.vweight_.begin(), hg.vweight_.end(),
+                                     std::uint64_t{0});
 
   hg.net_off_.push_back(0);
   std::vector<VertexId> scratch;
@@ -53,7 +67,7 @@ Hypergraph Hypergraph::from_circuit(const circuit::Circuit& c) {
     if (scratch.size() < 2) continue;  // self-loop only (DFF feeding itself)
     hg.pins_.insert(hg.pins_.end(), scratch.begin(), scratch.end());
     hg.net_off_.push_back(static_cast<std::uint32_t>(hg.pins_.size()));
-    hg.net_weight_.push_back(1);
+    hg.net_weight_.push_back(w != nullptr ? w->traffic[g] : 1);
   }
   hg.build_incidence();
   return hg;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "multilevel/weights.hpp"
 
 namespace pls::hypergraph {
 
@@ -41,6 +42,13 @@ class Hypergraph {
   /// fanout net, pins = {driver} ∪ fanouts(driver).  Gates with no fanout
   /// (or whose only sink is themselves) contribute no net.
   static Hypergraph from_circuit(const circuit::Circuit& c);
+
+  /// Activity-weighted variant: vertex weights carry per-gate work and
+  /// each net's weight is its driver's traffic weight, so λ−1 counts
+  /// events per unit time instead of distinct cut nets.  nullptr falls
+  /// back to unit weights.
+  static Hypergraph from_circuit(const circuit::Circuit& c,
+                                 const multilevel::VertexTrafficWeights* w);
 
   std::size_t num_vertices() const noexcept { return vweight_.size(); }
   std::size_t num_nets() const noexcept { return net_weight_.size(); }

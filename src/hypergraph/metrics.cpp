@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "multilevel/metrics.hpp"
 #include "util/check.hpp"
 
 namespace pls::hypergraph {
@@ -54,16 +55,12 @@ std::uint64_t connectivity_minus_one(const Hypergraph& hg,
 
 double imbalance(const Hypergraph& hg, const partition::Partition& p) {
   p.validate(hg.num_vertices());
-  PLS_CHECK(p.k >= 1);
-  if (hg.total_vertex_weight() == 0) return 1.0;
   std::vector<std::uint64_t> load(p.k, 0);
   for (VertexId v = 0; v < hg.num_vertices(); ++v) {
     load[p.assign[v]] += hg.vertex_weight(v);
   }
-  const double ideal = static_cast<double>(hg.total_vertex_weight()) /
-                       static_cast<double>(p.k);
-  return static_cast<double>(*std::max_element(load.begin(), load.end())) /
-         ideal;
+  return multilevel::imbalance_from_loads(load, hg.total_vertex_weight(),
+                                          p.k);
 }
 
 }  // namespace pls::hypergraph

@@ -8,6 +8,38 @@
 #include "util/rng.hpp"
 
 namespace pls::hypergraph {
+namespace {
+
+/// Hypergraph instantiation of the shared V-cycle (multilevel/vcycle.hpp):
+/// BFS-grown initial partitioning and λ−1 FM refinement, with λ−1 as the
+/// traced quality.
+struct HgPolicy {
+  std::uint32_t k;
+  const MultilevelHGOptions& opt;
+  util::SplitMix64& seeder;
+
+  const Hypergraph& graph(const HgCoarseLevel& lvl) const { return lvl.hg; }
+  std::size_t size(const Hypergraph& hg) const { return hg.num_vertices(); }
+  partition::Partition initial(
+      const Hypergraph& hg, const std::vector<std::uint8_t>& contains_input) {
+    HgInitialOptions iopt;
+    iopt.k = k;
+    iopt.seed = seeder.next();
+    return initial_partition(hg, contains_input, iopt);
+  }
+  void refine(const Hypergraph& hg, partition::Partition& p) {
+    HgRefineOptions ropt;
+    ropt.balance_tol = opt.balance_tol;
+    ropt.max_iters = opt.refine_iters;
+    refine_fm(hg, p, ropt);
+  }
+  std::uint64_t quality(const Hypergraph& hg,
+                        const partition::Partition& p) const {
+    return connectivity_minus_one(hg, p);
+  }
+};
+
+}  // namespace
 
 partition::Partition MultilevelHGPartitioner::run(const circuit::Circuit& c,
                                                   std::uint32_t k,
@@ -27,55 +59,39 @@ partition::Partition MultilevelHGPartitioner::run_traced(
                        ? opt_.coarsen_threshold
                        : std::max<std::size_t>(std::size_t{8} * k, 128);
   copt.seed = seeder.next();
+  copt.weights = opt_.weights;
   // Same cap policy as the graph pipeline: a quarter of the ideal per-part
-  // load, so the initial phase can balance and FM retains movable units.
-  copt.max_globule_weight = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(c.size()) / (std::uint64_t{4} * k));
+  // work load, so the initial phase can balance and FM retains movable
+  // units.
+  const std::uint64_t total_work =
+      opt_.weights != nullptr ? opt_.weights->total_vertex_weight()
+                              : static_cast<std::uint64_t>(c.size());
+  copt.max_globule_weight =
+      std::max<std::uint64_t>(1, total_work / (std::uint64_t{4} * k));
   const HgHierarchy h = coarsen(c, copt);
 
-  if (trace != nullptr) {
-    trace->level_sizes.clear();
-    trace->lambda_after_level.clear();
-    for (const auto& lvl : h.levels) {
-      trace->level_sizes.push_back(lvl.hg.num_vertices());
-    }
+  // ---- Phases 2+3: the shared V-cycle ---------------------------------
+  HgPolicy pol{k, opt_, seeder};
+
+  // Uniform weights cannot change any decision, so the plain V-cycle
+  // reproduces the unweighted partition bit-identically; real weights get
+  // the best-of-two guided cycle (see multilevel/vcycle.hpp).
+  partition::Partition p;
+  if (opt_.weights == nullptr || opt_.weights->uniform()) {
+    p = multilevel::run_vcycle(h, pol, trace);
+  } else {
+    // Candidate B replays the unweighted run's exact seed chain, so the
+    // guided result can only improve on today's unweighted partition.
+    util::SplitMix64 useeder(seed);
+    HgCoarsenOptions ucopt = copt;
+    ucopt.weights = nullptr;
+    ucopt.seed = useeder.next();
+    ucopt.max_globule_weight = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(c.size()) / (std::uint64_t{4} * k));
+    const HgHierarchy hu = coarsen(c, ucopt);
+    HgPolicy upol{k, opt_, useeder};
+    p = multilevel::run_guided_vcycle(h, hu, pol, upol, trace);
   }
-
-  // ---- Phase 2: BFS-grown initial k-way at the coarsest level ---------
-  HgInitialOptions iopt;
-  iopt.k = k;
-  iopt.seed = seeder.next();
-  partition::Partition p =
-      initial_partition(h.coarsest(), h.coarsest_contains_input(), iopt);
-  if (trace != nullptr) {
-    trace->initial_lambda = connectivity_minus_one(h.coarsest(), p);
-  }
-
-  // ---- Phase 3: λ−1 FM refinement, projecting from Hm down to H0 ------
-  HgRefineOptions ropt;
-  ropt.balance_tol = opt_.balance_tol;
-  ropt.max_iters = opt_.refine_iters;
-
-  HgRefineResult r = refine_fm(h.coarsest(), p, ropt);
-  if (trace != nullptr) trace->lambda_after_level.push_back(r.lambda_after);
-
-  for (std::size_t i = h.levels.size(); i-- > 0;) {
-    // Project: every member vertex inherits its globule's part.
-    const auto& map = h.levels[i].parent_map;
-    partition::Partition finer;
-    finer.k = k;
-    finer.assign.resize(map.size());
-    for (std::size_t v = 0; v < map.size(); ++v) {
-      finer.assign[v] = p.assign[map[v]];
-    }
-    p = std::move(finer);
-
-    const Hypergraph& hfine = i == 0 ? h.base : h.levels[i - 1].hg;
-    r = refine_fm(hfine, p, ropt);
-    if (trace != nullptr) trace->lambda_after_level.push_back(r.lambda_after);
-  }
-
-  if (trace != nullptr) trace->final_lambda = connectivity_minus_one(h.base, p);
   p.validate(c.size());
   return p;
 }

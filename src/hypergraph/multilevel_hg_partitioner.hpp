@@ -15,6 +15,8 @@
 
 #include "hypergraph/coarsen.hpp"
 #include "hypergraph/refine.hpp"
+#include "multilevel/vcycle.hpp"
+#include "multilevel/weights.hpp"
 #include "partition/partition.hpp"
 
 namespace pls::hypergraph {
@@ -28,15 +30,15 @@ struct MultilevelHGOptions {
   /// comparisons run at equal imbalance tolerance.
   double balance_tol = 0.03;
   std::uint32_t refine_iters = 8;
+  /// Optional activity-derived work/traffic weights, consumed exactly like
+  /// MultilevelOptions::weights (net weight = driver's traffic weight);
+  /// must outlive the run.
+  const multilevel::VertexTrafficWeights* weights = nullptr;
 };
 
-/// Per-run diagnostics (mirrors MultilevelTrace, in λ−1 terms).
-struct MultilevelHGTrace {
-  std::vector<std::size_t> level_sizes;          ///< |V| of H1..Hm
-  std::vector<std::uint64_t> lambda_after_level; ///< λ−1 after each level
-  std::uint64_t initial_lambda = 0;              ///< λ−1 after initial phase
-  std::uint64_t final_lambda = 0;                ///< λ−1 on H0
-};
+/// Per-run diagnostics (same shape as the graph pipeline's; "quality" is
+/// λ−1 here — see multilevel::Trace).
+using MultilevelHGTrace = multilevel::Trace;
 
 class MultilevelHGPartitioner final : public partition::Partitioner {
  public:

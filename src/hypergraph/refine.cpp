@@ -1,10 +1,10 @@
 #include "hypergraph/refine.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "hypergraph/metrics.hpp"
+#include "multilevel/balance.hpp"
 #include "util/check.hpp"
 
 namespace pls::hypergraph {
@@ -95,9 +95,8 @@ HgRefineResult refine_fm(const Hypergraph& hg, partition::Partition& p,
 
   std::vector<std::uint64_t> load(k, 0);
   for (VertexId v = 0; v < n; ++v) load[p.assign[v]] += hg.vertex_weight(v);
-  const auto limit = static_cast<std::uint64_t>(std::ceil(
-      static_cast<double>(hg.total_vertex_weight()) / static_cast<double>(k) *
-      (1.0 + opt.balance_tol)));
+  const std::uint64_t limit =
+      multilevel::balance_limit(hg.total_vertex_weight(), k, opt.balance_tol);
 
   // Two least-loaded parts (lowest id on ties), maintained across moves:
   // the no-adjacent-candidate fallback below needs "least-loaded part

@@ -7,6 +7,7 @@
 // (partition::CoarsenOptions::activity), which then prefers to keep busy
 // signals inside globules.
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -14,10 +15,30 @@
 
 namespace pls::logicsim {
 
-/// Relative per-gate activity: events per gate divided by the mean over
-/// all gates (1.0 = average).  `profile_end` bounds the pre-simulation.
-std::vector<double> profile_activity(const circuit::Circuit& c,
-                                     const ModelOptions& opt,
-                                     warped::SimTime profile_end);
+/// Two per-gate activity signals, each mean-normalized (1.0 = average
+/// gate).  They answer different questions and drive different weights:
+///   work[g]     events *executed at* g — how much CPU hosting g costs
+///               (vertex/work weight).
+///   traffic[g]  output transitions of g (sends / fanout degree) — how
+///               many messages cutting g's fanout net costs per unit time
+///               (net/edge traffic weight).  A gate evaluated often but
+///               rarely toggling is heavy work yet cheap to cut.
+struct ActivityProfile {
+  std::vector<double> work;
+  std::vector<double> traffic;
+};
+
+/// Profile gate activity with a short sequential pre-simulation;
+/// `profile_end` bounds it.  Deterministic for a fixed stimulus seed.
+ActivityProfile profile_activity(const circuit::Circuit& c,
+                                 const ModelOptions& opt,
+                                 warped::SimTime profile_end);
+
+/// Mean-normalize raw per-gate event counts into an activity profile
+/// (1.0 = average gate; all-zero counts normalize to all-zero).  Shared by
+/// profile_activity and the driver's warm-up feedback path, which feeds
+/// per-LP committed-event counts from a parallel run through the same
+/// normalization.
+std::vector<double> normalize_counts(const std::vector<std::uint64_t>& counts);
 
 }  // namespace pls::logicsim

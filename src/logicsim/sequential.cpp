@@ -54,8 +54,10 @@ class SeqContext final : public warped::Context {
   SeqContext(SimTime end, std::vector<SeqLp>* lps,
              std::vector<LpState>* states,
              std::priority_queue<SchedEntry, std::vector<SchedEntry>,
-                                 std::greater<>>* sched)
-      : end_(end), lps_(lps), states_(states), sched_(sched) {}
+                                 std::greater<>>* sched,
+             std::vector<std::uint64_t>* sends)
+      : end_(end), lps_(lps), states_(states), sched_(sched),
+        sends_(sends) {}
 
   void set_current(SimTime now, LpId self, bool init_mode) {
     now_ = now;
@@ -82,6 +84,10 @@ class SeqContext final : public warped::Context {
     ev.id = (*lps_)[self_].next_id++;
     (*lps_)[target].insert(ev);
     sched_->push(SchedEntry{recv_time, target});
+    // Self-sends are scheduling ticks (DFF clocks, stimulus timers), not
+    // net traffic — counting them would mark every clocked LP "hot"
+    // regardless of whether its output ever toggles.
+    if (target != self_) ++(*sends_)[self_];
   }
 
  private:
@@ -93,6 +99,7 @@ class SeqContext final : public warped::Context {
   std::vector<LpState>* states_;
   std::priority_queue<SchedEntry, std::vector<SchedEntry>, std::greater<>>*
       sched_;
+  std::vector<std::uint64_t>* sends_;
 };
 
 }  // namespace
@@ -110,8 +117,9 @@ SeqStats simulate_sequential(const std::vector<warped::LogicalProcess*>& lps,
 
   SeqStats out;
   out.per_lp_events.assign(lps.size(), 0);
+  out.per_lp_sends.assign(lps.size(), 0);
 
-  SeqContext ctx(end_time, &queues, &states, &sched);
+  SeqContext ctx(end_time, &queues, &states, &sched, &out.per_lp_sends);
   for (LpId i = 0; i < lps.size(); ++i) {
     states[i] = lps[i]->initial_state();
   }

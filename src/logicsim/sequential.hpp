@@ -20,7 +20,14 @@ struct SeqStats {
   std::uint64_t events_processed = 0;  ///< every event is committed
   double wall_seconds = 0.0;
   std::vector<warped::LpState> final_states;
-  std::vector<std::uint64_t> per_lp_events;  ///< activity profile source
+  std::vector<std::uint64_t> per_lp_events;  ///< events received — the
+                                             ///< *work* profile source
+  /// Non-self ctx.send() calls per LP (≈ output transitions × fanout
+  /// degree) — the *traffic* profile source: a gate that evaluates often
+  /// but rarely toggles receives many events yet sends few, and only
+  /// sends cross node boundaries.  Self-sends (clock/stimulus ticks) are
+  /// excluded; they never leave the LP.
+  std::vector<std::uint64_t> per_lp_sends;
 };
 
 /// Run the model to `end_time`.  `event_cost_ns` charges the same per-batch

@@ -1,0 +1,17 @@
+#include "multilevel/balance.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pls::multilevel {
+
+std::uint64_t balance_limit(std::uint64_t total_weight, std::uint32_t k,
+                            double tol) {
+  PLS_CHECK(k >= 1);
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(total_weight) / static_cast<double>(k) *
+                (1.0 + tol)));
+}
+
+}  // namespace pls::multilevel

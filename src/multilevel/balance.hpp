@@ -1,0 +1,22 @@
+#pragma once
+// The one balance constraint both multilevel pipelines enforce.
+//
+// Every phase that moves or places weight — graph initial partitioning,
+// all three graph refiners, hypergraph FM — used to spell the limit
+// ceil(W/k · (1+tol)) inline; five copies of the same float expression is
+// five chances for them to drift apart (and they are compared head-to-head
+// at "equal imbalance tolerance" in every bench).  This is now the single
+// definition; partition::imbalance / hypergraph::imbalance measure against
+// the same ideal via multilevel/metrics.hpp.
+
+#include <cstdint>
+
+namespace pls::multilevel {
+
+/// Largest load a part may reach: ceil(total/k · (1 + tol)).  The float
+/// expression is evaluated as (total/k) · (1+tol) — keep it that way; the
+/// refiners' feasibility checks are bit-sensitive to the rounding.
+std::uint64_t balance_limit(std::uint64_t total_weight, std::uint32_t k,
+                            double tol);
+
+}  // namespace pls::multilevel

@@ -1,0 +1,20 @@
+#include "multilevel/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pls::multilevel {
+
+double imbalance_from_loads(std::span<const std::uint64_t> loads,
+                            std::uint64_t total_weight, std::uint32_t k) {
+  PLS_CHECK(k >= 1);
+  PLS_CHECK_MSG(!loads.empty(), "imbalance needs at least one part load");
+  if (total_weight == 0) return 1.0;
+  const double ideal =
+      static_cast<double>(total_weight) / static_cast<double>(k);
+  const std::uint64_t mx = *std::max_element(loads.begin(), loads.end());
+  return static_cast<double>(mx) / ideal;
+}
+
+}  // namespace pls::multilevel

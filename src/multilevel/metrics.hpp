@@ -1,0 +1,19 @@
+#pragma once
+// Shared partition-quality arithmetic.
+//
+// partition::imbalance (circuit and graph overloads) and
+// hypergraph::imbalance are the same function of (per-part loads, total
+// weight, k); the single definition lives here so "imbalance" means one
+// thing across the study (property-tested in multilevel_core_test).
+
+#include <cstdint>
+#include <span>
+
+namespace pls::multilevel {
+
+/// Max part load / ideal load (1.0 = perfect).  Returns 1.0 for an empty
+/// instance (total == 0), matching both historical implementations.
+double imbalance_from_loads(std::span<const std::uint64_t> loads,
+                            std::uint64_t total_weight, std::uint32_t k);
+
+}  // namespace pls::multilevel

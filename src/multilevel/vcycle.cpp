@@ -1,0 +1,16 @@
+#include "multilevel/vcycle.hpp"
+
+namespace pls::multilevel {
+
+partition::Partition project(const std::vector<std::uint32_t>& parent_map,
+                             const partition::Partition& coarse) {
+  partition::Partition finer;
+  finer.k = coarse.k;
+  finer.assign.resize(parent_map.size());
+  for (std::size_t v = 0; v < parent_map.size(); ++v) {
+    finer.assign[v] = coarse.assign[parent_map[v]];
+  }
+  return finer;
+}
+
+}  // namespace pls::multilevel

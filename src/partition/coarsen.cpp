@@ -1,7 +1,6 @@
 #include "partition/coarsen.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 #include <tuple>
 
@@ -24,10 +23,19 @@ struct WorkLevel {
 };
 
 WorkLevel base_level(const circuit::Circuit& c,
-                     const std::vector<double>* activity) {
+                     const multilevel::VertexTrafficWeights* weights) {
+  if (weights != nullptr) {
+    PLS_CHECK_MSG(weights->vertex.size() == c.size() &&
+                      weights->traffic.size() == c.size(),
+                  "weights must cover every gate");
+  }
   WorkLevel w;
   const auto n = c.size();
-  w.vweight.assign(n, 1);
+  if (weights != nullptr) {
+    w.vweight.assign(weights->vertex.begin(), weights->vertex.end());
+  } else {
+    w.vweight.assign(n, 1);
+  }
   w.contains_input.assign(n, 0);
   w.is_start.assign(n, 0);
   w.out.resize(n);
@@ -39,14 +47,11 @@ WorkLevel base_level(const circuit::Circuit& c,
     const auto outs = c.fanouts(g);
     auto& row = w.out[g];
     row.reserve(outs.size());
-    // Activity scaling: a busy driver's signal is more expensive to cut, so
+    // Traffic scaling: a busy driver's signal is more expensive to cut, so
     // its edges weigh more and the coarsener keeps its fanout together
     // (paper §6 "activity levels of communication").
-    std::uint32_t base_weight = 1;
-    if (activity != nullptr && g < activity->size()) {
-      base_weight = 1 + static_cast<std::uint32_t>(
-                            std::lround(std::min(15.0, (*activity)[g])));
-    }
+    const std::uint32_t base_weight =
+        weights != nullptr ? weights->traffic[g] : 1;
     for (circuit::GateId t : outs) {
       if (t == g) continue;
       auto it = std::find_if(row.begin(), row.end(),
@@ -262,7 +267,7 @@ Hierarchy coarsen(const circuit::Circuit& c, const CoarsenOptions& opt) {
   util::Rng rng(opt.seed);
 
   Hierarchy h;
-  WorkLevel cur = base_level(c, opt.activity);
+  WorkLevel cur = base_level(c, opt.weights);
 
   // Public G0 view (for final-level refinement).
   {

@@ -27,6 +27,7 @@
 
 #include "circuit/circuit.hpp"
 #include "graph/weighted_graph.hpp"
+#include "multilevel/weights.hpp"
 
 namespace pls::partition {
 
@@ -47,11 +48,13 @@ struct CoarsenOptions {
   /// "load sufficiently balanced" goal unattainable; the multilevel
   /// partitioner sets this to a fraction of the ideal per-part load.
   std::uint64_t max_globule_weight = 0;
-  /// Optional per-gate activity profile (events per unit time, from a
-  /// pre-simulation).  When present, edge weights of G0 are scaled by the
-  /// driver gate's activity so the coarsener preferentially keeps busy
-  /// signals inside globules (paper §6).
-  const std::vector<double>* activity = nullptr;
+  /// Optional activity-derived weights (multilevel/weights.hpp).  When
+  /// present, G0's vertex weights carry per-gate work and its edge weights
+  /// carry the driver's traffic weight, so the coarsener preferentially
+  /// keeps busy signals inside globules and the balance phases budget by
+  /// real load (paper §6).  Must outlive the coarsen() call; nullptr means
+  /// unit weights.
+  const multilevel::VertexTrafficWeights* weights = nullptr;
 };
 
 /// One coarse level G_{i+1} derived from the level below it.

@@ -1,9 +1,9 @@
 #include "partition/initial.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 
+#include "multilevel/balance.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -21,10 +21,8 @@ Partition initial_partition(const graph::WeightedGraph& g,
   p.assign.assign(g.num_vertices(), 0);
 
   std::vector<std::uint64_t> load(opt.k, 0);
-  const double ideal = static_cast<double>(g.total_vertex_weight()) /
-                       static_cast<double>(opt.k);
-  const auto limit = static_cast<std::uint64_t>(
-      std::ceil(ideal * (1.0 + opt.balance_tol)));
+  const std::uint64_t limit = multilevel::balance_limit(
+      g.total_vertex_weight(), opt.k, opt.balance_tol);
 
   auto least_loaded = [&]() -> PartId {
     return static_cast<PartId>(

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "circuit/levelize.hpp"
+#include "multilevel/metrics.hpp"
 #include "util/check.hpp"
 
 namespace pls::partition {
@@ -30,22 +31,9 @@ std::uint64_t edge_cut(const graph::WeightedGraph& g, const Partition& p) {
   return cut;
 }
 
-namespace {
-
-double imbalance_from_loads(const std::vector<std::uint64_t>& loads,
-                            std::uint64_t total, std::uint32_t k) {
-  PLS_CHECK(k >= 1);
-  if (total == 0) return 1.0;
-  const double ideal = static_cast<double>(total) / static_cast<double>(k);
-  const std::uint64_t mx = *std::max_element(loads.begin(), loads.end());
-  return static_cast<double>(mx) / ideal;
-}
-
-}  // namespace
-
 double imbalance(const circuit::Circuit& c, const Partition& p) {
   p.validate(c.size());
-  return imbalance_from_loads(p.loads(), c.size(), p.k);
+  return multilevel::imbalance_from_loads(p.loads(), c.size(), p.k);
 }
 
 double imbalance(const graph::WeightedGraph& g, const Partition& p) {
@@ -54,7 +42,8 @@ double imbalance(const graph::WeightedGraph& g, const Partition& p) {
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     w[v] = g.vertex_weight(v);
   }
-  return imbalance_from_loads(p.loads(w), g.total_vertex_weight(), p.k);
+  return multilevel::imbalance_from_loads(p.loads(w), g.total_vertex_weight(),
+                                          p.k);
 }
 
 double concurrency(const circuit::Circuit& c, const Partition& p) {

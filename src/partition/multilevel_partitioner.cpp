@@ -8,6 +8,45 @@
 #include "util/rng.hpp"
 
 namespace pls::partition {
+namespace {
+
+/// Graph instantiation of the shared V-cycle (multilevel/vcycle.hpp):
+/// spread-the-inputs initial partitioning and the configured seeded
+/// refiner, with edge cut as the traced quality.
+struct GraphPolicy {
+  std::uint32_t k;
+  const MultilevelOptions& opt;
+  util::SplitMix64& seeder;
+  const Refiner& refiner;
+
+  const graph::WeightedGraph& graph(const CoarseLevel& lvl) const {
+    return lvl.graph;
+  }
+  std::size_t size(const graph::WeightedGraph& g) const {
+    return g.num_vertices();
+  }
+  Partition initial(const graph::WeightedGraph& g,
+                    const std::vector<std::uint8_t>& contains_input) {
+    InitialOptions iopt;
+    iopt.k = k;
+    iopt.seed = seeder.next();
+    iopt.balance_tol = opt.balance_tol;
+    return initial_partition(g, contains_input, iopt);
+  }
+  void refine(const graph::WeightedGraph& g, Partition& p) {
+    RefineOptions ropt;
+    ropt.balance_tol = opt.balance_tol;
+    ropt.max_iters = opt.refine_iters;
+    ropt.seed = seeder.next();
+    refiner.refine(g, p, ropt);
+  }
+  std::uint64_t quality(const graph::WeightedGraph& g,
+                        const Partition& p) const {
+    return edge_cut(g, p);
+  }
+};
+
+}  // namespace
 
 Partition MultilevelPartitioner::run(const circuit::Circuit& c,
                                      std::uint32_t k,
@@ -29,63 +68,40 @@ Partition MultilevelPartitioner::run_traced(const circuit::Circuit& c,
                        : std::max<std::size_t>(std::size_t{4} * k, 64);
   copt.scheme = opt_.scheme;
   copt.seed = seeder.next();
-  copt.activity = opt_.activity;
+  copt.weights = opt_.weights;
   // Cap globules at a quarter of the ideal per-part load so the initial
-  // phase can balance and refinement retains movable units.
-  copt.max_globule_weight = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(c.size()) / (std::uint64_t{4} * k));
+  // phase can balance and refinement retains movable units.  "Load" is the
+  // total work weight — the gate count when unweighted.
+  const std::uint64_t total_work =
+      opt_.weights != nullptr ? opt_.weights->total_vertex_weight()
+                              : static_cast<std::uint64_t>(c.size());
+  copt.max_globule_weight =
+      std::max<std::uint64_t>(1, total_work / (std::uint64_t{4} * k));
   const Hierarchy h = coarsen(c, copt);
 
-  if (trace != nullptr) {
-    trace->level_sizes.clear();
-    for (const auto& lvl : h.levels) {
-      trace->level_sizes.push_back(lvl.graph.num_vertices());
-    }
-  }
-
-  // ---- Phase 2: initial k-way partitioning at the coarsest level ------
-  InitialOptions iopt;
-  iopt.k = k;
-  iopt.seed = seeder.next();
-  iopt.balance_tol = opt_.balance_tol;
-  Partition p = initial_partition(h.coarsest(), h.coarsest_contains_input(),
-                                  iopt);
-  if (trace != nullptr) trace->initial_cut = edge_cut(h.coarsest(), p);
-
-  // ---- Phase 3: refinement, projecting from G_m down to G_0 -----------
+  // ---- Phases 2+3: the shared V-cycle ---------------------------------
   const auto refiner = make_refiner(opt_.refiner);
-  RefineOptions ropt;
-  ropt.balance_tol = opt_.balance_tol;
-  ropt.max_iters = opt_.refine_iters;
+  GraphPolicy pol{k, opt_, seeder, *refiner};
 
-  ropt.seed = seeder.next();
-  refiner->refine(h.coarsest(), p, ropt);
-  if (trace != nullptr) {
-    trace->cut_after_level.push_back(edge_cut(h.coarsest(), p));
+  // Uniform weights cannot change any decision, so the plain V-cycle
+  // reproduces the unweighted partition bit-identically; real weights get
+  // the best-of-two guided cycle (see multilevel/vcycle.hpp).
+  Partition p;
+  if (opt_.weights == nullptr || opt_.weights->uniform()) {
+    p = multilevel::run_vcycle(h, pol, trace);
+  } else {
+    // Candidate B replays the unweighted run's exact seed chain, so the
+    // guided result can only improve on today's unweighted partition.
+    util::SplitMix64 useeder(seed);
+    CoarsenOptions ucopt = copt;
+    ucopt.weights = nullptr;
+    ucopt.seed = useeder.next();
+    ucopt.max_globule_weight = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(c.size()) / (std::uint64_t{4} * k));
+    const Hierarchy hu = coarsen(c, ucopt);
+    GraphPolicy upol{k, opt_, useeder, *refiner};
+    p = multilevel::run_guided_vcycle(h, hu, pol, upol, trace);
   }
-
-  for (std::size_t i = h.levels.size(); i-- > 0;) {
-    // Project to the next finer level: every member vertex inherits its
-    // globule's partition — ∀ v ∈ V_ij : P[v] = P[V_ij] (paper §3).
-    const auto& map = h.levels[i].parent_map;
-    Partition finer;
-    finer.k = k;
-    finer.assign.resize(map.size());
-    for (std::size_t v = 0; v < map.size(); ++v) {
-      finer.assign[v] = p.assign[map[v]];
-    }
-    p = std::move(finer);
-
-    const graph::WeightedGraph& gfine =
-        i == 0 ? h.base : h.levels[i - 1].graph;
-    ropt.seed = seeder.next();
-    refiner->refine(gfine, p, ropt);
-    if (trace != nullptr) {
-      trace->cut_after_level.push_back(edge_cut(gfine, p));
-    }
-  }
-
-  if (trace != nullptr) trace->final_cut = edge_cut(h.base, p);
   p.validate(c.size());
   return p;
 }

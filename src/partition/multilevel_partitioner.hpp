@@ -13,6 +13,8 @@
 
 #include <vector>
 
+#include "multilevel/vcycle.hpp"
+#include "multilevel/weights.hpp"
 #include "partition/coarsen.hpp"
 #include "partition/partition.hpp"
 #include "partition/refine.hpp"
@@ -28,17 +30,14 @@ struct MultilevelOptions {
   /// slack here shows up directly as one lagging node at runtime.
   double balance_tol = 0.03;
   std::uint32_t refine_iters = 8;
-  /// Optional per-gate activity profile (see CoarsenOptions::activity).
-  const std::vector<double>* activity = nullptr;
+  /// Optional activity-derived work/traffic weights (see
+  /// CoarsenOptions::weights); must outlive the run.
+  const multilevel::VertexTrafficWeights* weights = nullptr;
 };
 
-/// Per-run diagnostics for benchmarking and tests.
-struct MultilevelTrace {
-  std::vector<std::size_t> level_sizes;   ///< |V| of G1..Gm
-  std::vector<std::uint64_t> cut_after_level;  ///< cut after refining level i
-  std::uint64_t initial_cut = 0;          ///< cut right after initial phase
-  std::uint64_t final_cut = 0;            ///< weighted cut on G0
-};
+/// Per-run diagnostics for benchmarking and tests; "quality" is the
+/// weighted edge cut here (see multilevel::Trace).
+using MultilevelTrace = multilevel::Trace;
 
 class MultilevelPartitioner final : public Partitioner {
  public:

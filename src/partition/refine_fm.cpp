@@ -8,9 +8,9 @@
 // formulation.
 
 #include <algorithm>
-#include <cmath>
 #include <queue>
 
+#include "multilevel/balance.hpp"
 #include "partition/metrics.hpp"
 #include "partition/refine.hpp"
 #include "util/check.hpp"
@@ -48,9 +48,8 @@ RefineResult FiducciaMattheysesRefiner::refine(
   for (graph::VertexId v = 0; v < n; ++v) {
     load[p.assign[v]] += g.vertex_weight(v);
   }
-  const auto limit = static_cast<std::uint64_t>(std::ceil(
-      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k) *
-      (1.0 + opt.balance_tol)));
+  const std::uint64_t limit =
+      multilevel::balance_limit(g.total_vertex_weight(), k, opt.balance_tol);
 
   std::vector<std::uint64_t> conn(k, 0);
   std::vector<PartId> touched;

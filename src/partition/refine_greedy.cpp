@@ -9,9 +9,9 @@
 // converge in a few iterations."
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 
+#include "multilevel/balance.hpp"
 #include "partition/metrics.hpp"
 #include "partition/refine.hpp"
 #include "util/check.hpp"
@@ -34,9 +34,8 @@ RefineResult GreedyRefiner::refine(const graph::WeightedGraph& g,
   for (graph::VertexId v = 0; v < n; ++v) {
     load[p.assign[v]] += g.vertex_weight(v);
   }
-  const auto limit = static_cast<std::uint64_t>(std::ceil(
-      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k) *
-      (1.0 + opt.balance_tol)));
+  const std::uint64_t limit =
+      multilevel::balance_limit(g.total_vertex_weight(), k, opt.balance_tol);
 
   std::vector<graph::VertexId> order(n);
   std::iota(order.begin(), order.end(), 0);

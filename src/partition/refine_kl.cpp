@@ -14,9 +14,9 @@
 // bench_refinement_ablation harness reproduces that comparison.
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 
+#include "multilevel/balance.hpp"
 #include "partition/metrics.hpp"
 #include "partition/refine.hpp"
 #include "util/check.hpp"
@@ -173,9 +173,8 @@ RefineResult KernighanLinRefiner::refine(const graph::WeightedGraph& g,
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     load[p.assign[v]] += g.vertex_weight(v);
   }
-  const auto limit = static_cast<std::uint64_t>(std::ceil(
-      static_cast<double>(g.total_vertex_weight()) / static_cast<double>(k) *
-      (1.0 + opt.balance_tol)));
+  const std::uint64_t limit =
+      multilevel::balance_limit(g.total_vertex_weight(), k, opt.balance_tol);
 
   for (std::uint32_t iter = 0; iter < opt.max_iters; ++iter) {
     ++res.iterations;

@@ -652,6 +652,8 @@ RunStats Kernel::run() {
     LpStats ls;
     ls.events_processed = rt.events_processed();
     ls.events_rolled_back = rt.events_rolled_back();
+    ls.events_committed = rt.events_committed();
+    ls.sends_committed = rt.sends_committed();
     ls.rollbacks = rt.rollbacks();
     ls.max_rollback_depth = rt.max_rollback_depth();
     out.per_lp.push_back(ls);

@@ -193,6 +193,7 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
     PLS_CHECK_MSG(cut <= processed_count_,
                   "fossil cut crosses unprocessed events (GVT too high)");
     res.committed_events = cut;
+    events_committed_ += cut;
     queue_.erase(queue_.begin(),
                  queue_.begin() + static_cast<std::ptrdiff_t>(cut));
     processed_count_ -= cut;
@@ -200,10 +201,14 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
   }
 
   // Outputs below GVT can never be cancelled (cancellation boundaries are
-  // >= GVT).
+  // >= GVT); the non-self ones are this LP's committed sends (self-sends
+  // are scheduling ticks, mirroring SeqStats::per_lp_sends).
   auto out = std::lower_bound(
       output_queue_.begin(), output_queue_.end(), gvt,
       [](const Event& e, SimTime time) { return e.send_time < time; });
+  for (auto it = output_queue_.begin(); it != out; ++it) {
+    if (it->target != it->sender) ++sends_committed_;
+  }
   output_queue_.erase(output_queue_.begin(), out);
 
   // A waiting anti below GVT can never meet its positive twin any more (no
@@ -216,6 +221,13 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
 
 std::uint64_t LpRuntime::finalize() {
   const auto committed = static_cast<std::uint64_t>(processed_count_);
+  events_committed_ += committed;
+  // Nothing can be cancelled after termination: the outputs that survived
+  // the last fossil pass are committed sends too (non-self, as above).
+  for (const Event& ev : output_queue_) {
+    if (ev.target != ev.sender) ++sends_committed_;
+  }
+  output_queue_.clear();
   queue_.erase(queue_.begin(),
                queue_.begin() + static_cast<std::ptrdiff_t>(processed_count_));
   processed_count_ = 0;

@@ -139,6 +139,15 @@ class LpRuntime {
   }
   /// Number of rollbacks (primary + secondary) this LP suffered.
   std::uint64_t rollbacks() const noexcept { return rollbacks_; }
+  /// Events irrevocably committed (fossil-collected + finalized) — the
+  /// per-LP useful-work count the activity-guided partitioner feeds back.
+  std::uint64_t events_committed() const noexcept {
+    return events_committed_;
+  }
+  /// Non-self sends that can no longer be cancelled — the per-LP traffic
+  /// count the activity-guided partitioner feeds back (≈ transitions ×
+  /// fanout; self-sends are scheduling ticks and excluded).
+  std::uint64_t sends_committed() const noexcept { return sends_committed_; }
   /// Most events undone by a single rollback — bounds how deep the
   /// optimism ran ahead of this LP's true frontier.
   std::uint64_t max_rollback_depth() const noexcept {
@@ -192,6 +201,8 @@ class LpRuntime {
   std::uint64_t events_rolled_back_ = 0;
   std::uint64_t rollbacks_ = 0;
   std::uint64_t max_rollback_depth_ = 0;
+  std::uint64_t events_committed_ = 0;
+  std::uint64_t sends_committed_ = 0;
   std::uint64_t next_event_id_ = 1;
 };
 

@@ -152,13 +152,15 @@ TEST(Coarsen, ActivityWeightingChangesEdgeWeights) {
   for (std::size_t i = 0; i < activity.size(); ++i) {
     activity[i] = (i % 7 == 0) ? 10.0 : 0.1;
   }
+  const auto weights = multilevel::weights_from_activity(activity);
   CoarsenOptions plain;
   CoarsenOptions weighted;
-  weighted.activity = &activity;
+  weighted.weights = &weights;
   const Hierarchy hp = coarsen(c, plain);
   const Hierarchy hw = coarsen(c, weighted);
   // Total symmetrized edge weight of G0 must be strictly larger with
-  // activity scaling (weights are 1 + round(min(15, act))).
+  // traffic scaling (a 10x-mean driver weighs traffic_cap-bounded ~40,
+  // far above the unit default).
   std::uint64_t wp = 0, ww = 0;
   for (graph::VertexId v = 0; v < hp.base.num_vertices(); ++v) {
     wp += hp.base.weighted_degree(v);

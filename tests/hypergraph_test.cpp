@@ -239,9 +239,9 @@ TEST(MultilevelHG, TraceShowsThreePhases) {
   for (std::size_t i = 1; i < trace.level_sizes.size(); ++i) {
     EXPECT_LT(trace.level_sizes[i], trace.level_sizes[i - 1]);
   }
-  EXPECT_EQ(trace.lambda_after_level.size(), trace.level_sizes.size() + 1);
-  EXPECT_EQ(trace.final_lambda, trace.lambda_after_level.back());
-  EXPECT_LE(trace.lambda_after_level.front(), trace.initial_lambda);
+  EXPECT_EQ(trace.quality_after_level.size(), trace.level_sizes.size() + 1);
+  EXPECT_EQ(trace.final_quality, trace.quality_after_level.back());
+  EXPECT_LE(trace.quality_after_level.front(), trace.initial_quality);
 }
 
 TEST(MultilevelHG, TinyCircuitBelowThreshold) {

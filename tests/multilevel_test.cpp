@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "circuit/generator.hpp"
+#include "multilevel/metrics.hpp"
+#include "multilevel/weights.hpp"
 #include "partition/baselines.hpp"
 #include "partition/metrics.hpp"
 #include "partition/multilevel_partitioner.hpp"
@@ -68,10 +70,10 @@ TEST(Multilevel, TraceShowsThreePhases) {
   }
   // Refinement at the finest level produced the final cut, and the trace
   // has one entry per refined level (coarsest + every projection).
-  EXPECT_EQ(trace.cut_after_level.size(), trace.level_sizes.size() + 1);
-  EXPECT_EQ(trace.final_cut, trace.cut_after_level.back());
+  EXPECT_EQ(trace.quality_after_level.size(), trace.level_sizes.size() + 1);
+  EXPECT_EQ(trace.final_quality, trace.quality_after_level.back());
   // Refinement improved on (or matched) the raw initial partition.
-  EXPECT_LE(trace.cut_after_level.front(), trace.initial_cut);
+  EXPECT_LE(trace.quality_after_level.front(), trace.initial_quality);
 }
 
 TEST(Multilevel, RefinementReducesCutAcrossLevels) {
@@ -82,7 +84,7 @@ TEST(Multilevel, RefinementReducesCutAcrossLevels) {
   const auto c = test_circuit(2000, 5);
   MultilevelTrace trace;
   MultilevelPartitioner().run_traced(c, 8, 2, &trace);
-  EXPECT_LT(trace.final_cut, trace.initial_cut * 2);
+  EXPECT_LT(trace.final_quality, trace.initial_quality * 2);
 }
 
 TEST(Multilevel, HeavyEdgeSchemeOptionWorks) {
@@ -110,11 +112,17 @@ TEST(Multilevel, ActivityWeightedCoarseningWorks) {
   const auto c = test_circuit();
   std::vector<double> activity(c.size(), 1.0);
   for (std::size_t i = 0; i < activity.size(); i += 3) activity[i] = 8.0;
+  const auto weights = multilevel::weights_from_activity(activity);
   MultilevelOptions opt;
-  opt.activity = &activity;
+  opt.weights = &weights;
   const Partition p = MultilevelPartitioner(opt).run(c, 4, 1);
   p.validate(c.size());
-  EXPECT_LE(imbalance(c, p), 1.12);
+  // The weighted pipeline balances *work* (activity-weighted load), not
+  // gate counts: measure imbalance in the same currency.
+  const auto loads = p.loads(weights.vertex);
+  EXPECT_LE(multilevel::imbalance_from_loads(
+                loads, weights.total_vertex_weight(), p.k),
+            1.12);
 }
 
 TEST(Multilevel, CustomThreshold) {

@@ -43,6 +43,15 @@ def main(argv):
         rows = [{k: _num(v) for k, v in row.items()}
                 for row in csv.DictReader(f)]
 
+    # Self-document the sweep dimensions: the distinct throttle / activity
+    # modes present in the rows are summarized into config, so a snapshot
+    # says whether (and how) it was activity-guided without scanning rows.
+    for dim in ("throttle", "activity"):
+        key = f"{dim}_modes"
+        seen = sorted({row[dim] for row in rows if dim in row})
+        if seen and key not in config:
+            config[key] = ",".join(str(s) for s in seen)
+
     doc = {
         "bench": in_csv.rsplit("/", 1)[-1].removesuffix(".csv"),
         "config": config,
