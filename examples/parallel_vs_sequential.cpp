@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
   cli.add_flag("window",
                "optimism window (fixed mode) / initial window (adaptive)",
                "0");
+  cli.add_flag("repartition",
+               "dynamic repartitioning: off | gvt (gvt = repartition every "
+               "4 GVT rounds with live LP migration; multilevel strategies "
+               "only)",
+               "off");
   if (!cli.parse(argc, argv)) return 1;
   warped::ThrottleMode throttle_mode;
   if (!warped::parse_throttle_mode(cli.get("throttle"), &throttle_mode)) {
@@ -65,6 +70,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.optimism_window = static_cast<warped::SimTime>(window);
+  const std::string repartition = cli.get("repartition");
+  if (repartition != "off" && repartition != "gvt") {
+    std::fprintf(stderr, "unknown --repartition mode '%s' (want off|gvt)\n",
+                 repartition.c_str());
+    return 1;
+  }
 
   const auto seq = framework::run_sequential(c, cfg);
   std::printf(
@@ -75,9 +86,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(seq.events_processed));
 
   util::AsciiTable table({"Strategy", "Time(s)", "Speedup", "Rollbacks",
-                          "AppMsgs", "Verified"});
+                          "AppMsgs", "Migrations", "Verified"});
   for (const auto& name : framework::partitioner_names()) {
     cfg.partitioner = name;
+    // Dynamic repartitioning needs a weight-consuming strategy; the other
+    // rows stay static so the table keeps every strategy comparable.
+    const bool adaptive = repartition == "gvt" &&
+                          framework::strategy_consumes_weights(name);
+    cfg.repartition_interval = adaptive ? 4 : 0;
     const auto res = framework::run_parallel(c, cfg);
     const auto eq = logicsim::check_equivalence(res.run, seq);
     table.add_row(
@@ -85,6 +101,7 @@ int main(int argc, char** argv) {
          util::AsciiTable::num(seq.wall_seconds / res.run.wall_seconds, 2),
          std::to_string(res.run.totals.total_rollbacks()),
          std::to_string(res.run.totals.inter_node_messages),
+         adaptive ? std::to_string(res.lps_migrated) : "-",
          eq.ok() ? "yes" : ("NO: " + eq.describe())});
     if (!eq.ok()) {
       std::fprintf(stderr, "equivalence failure under %s!\n", name.c_str());

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "logicsim/netlist_lps.hpp"
@@ -71,6 +72,55 @@ struct DriverConfig {
   /// Activity → weight mapping knobs (caps, traffic granularity).
   multilevel::WeightOptions weight_options;
   partition::MultilevelOptions multilevel;
+
+  /// Dynamic repartitioning with live LP migration: every
+  /// `repartition_interval` completed GVT rounds the driver re-derives
+  /// work/traffic weights from the per-LP committed counters (cumulative
+  /// or over a sliding window — see repartition_window), warm-starts an
+  /// *incremental* refinement from the live assignment
+  /// (registry::repartition_incremental) and migrates the LPs whose node
+  /// changed — without stopping the simulation.  Requires a
+  /// weight-consuming strategy ("Multilevel" or "MultilevelHG"),
+  /// validated up front like use_activity.  0 = off.
+  std::uint64_t repartition_interval = 0;
+  /// Minimum relative improvement of the weighted objective before a new
+  /// plan is adopted (hysteresis against migration churn): adopt only if
+  /// (before - after) >= threshold * before, where threshold grows with
+  /// the fraction of LPs the plan would move —
+  /// max(repartition_min_gain, repartition_churn_cost * moved_fraction).
+  /// Migration is not free (cancelled speculation at the source, package
+  /// shipping, limbo stalls at the destination), so a plan that moves a
+  /// third of the circuit must promise far more than a marginal cut win.
+  double repartition_min_gain = 0.05;
+  double repartition_churn_cost = 0.5;
+  /// Virtual-time width of the sliding window the live activity signal is
+  /// measured over.  0 (the default) uses cumulative-from-start committed
+  /// counters: the signal a full-horizon profile would measure, built up
+  /// live — smooth (no epoch-slice sampling noise to chase) and
+  /// converging, after a drift, on the all-phases mixture an oracle
+  /// profile would weight by.  A positive window trades that stability
+  /// for reaction speed: recent activity predicts the remaining horizon
+  /// better when drift recurs faster than cumulative averages can track,
+  /// at the price of spikier weights (a thin virtual-time slice has
+  /// vector-to-vector noise the cumulative signal averages away).
+  warped::SimTime repartition_window = 0;
+  /// Startup gate: no plan is adopted before GVT reaches this virtual
+  /// time (0 = auto: 4 × stim_period).  The opening epochs sample only
+  /// the power-on transient — every gate stabilizing once — and
+  /// repartitioning on that trades the starting partition for noise.
+  warped::SimTime repartition_warmup_gvt = 0;
+};
+
+/// One adopted (or evaluated) repartition epoch, for post-run analysis.
+struct RepartitionEpoch {
+  std::uint64_t round = 0;      ///< completed GVT rounds at the epoch
+  warped::SimTime gvt = 0;
+  double imbalance_before = 0.0;  ///< weighted work imbalance, live weights
+  double imbalance_after = 0.0;
+  std::uint64_t quality_before = 0;  ///< weighted cut / λ−1 of the seed
+  std::uint64_t quality_after = 0;
+  std::uint64_t lps_moved = 0;       ///< 0 = plan evaluated but rejected
+  double seconds = 0.0;              ///< incremental repartition wall time
 };
 
 struct DriverResult {
@@ -84,7 +134,14 @@ struct DriverResult {
   std::uint64_t edge_cut = 0;
   std::uint64_t comm_volume = 0;
   double imbalance = 0.0;
+  /// Imbalance under the activity work weights the partitioner actually
+  /// optimized (equals `imbalance` when no weights were in play).
+  double weighted_imbalance = 0.0;
   double concurrency = 0.0;
+
+  // Dynamic repartitioning outcome (empty / zero when off).
+  std::vector<RepartitionEpoch> repartition_epochs;
+  std::uint64_t lps_migrated = 0;  ///< total LPs live-migrated
 
   warped::RunStats run;
 };

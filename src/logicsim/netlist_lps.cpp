@@ -127,9 +127,10 @@ void DffLp::execute(Context& ctx, EventBatch batch) {
 // ---------------------------------------------------------------------------
 
 InputLp::InputLp(std::vector<FanoutPort> fanouts, SimTime period,
-                 SimTime delay, std::uint64_t seed)
+                 SimTime delay, std::uint64_t seed, SimTime drift_at,
+                 bool hot_first)
     : fanouts_(std::move(fanouts)), period_(period), delay_(delay),
-      seed_(seed) {
+      seed_(seed), drift_at_(drift_at), hot_first_(hot_first) {
   PLS_CHECK(period_ >= 1);
   PLS_CHECK(delay_ >= 1);
 }
@@ -151,7 +152,14 @@ void InputLp::execute(Context& ctx, EventBatch batch) {
   for (const auto& ev : batch) tick |= (ev.port == kTickPort);
   if (!tick) return;
 
-  const std::uint64_t n = ctx.now() / period_;
+  std::uint64_t n = ctx.now() / period_;
+  if (drift_at_ != 0) {
+    // Cold phase: hold one frozen vector index (the boundary index), so
+    // the driven cone sees a constant and goes quiet.  Pure function of
+    // virtual time — identical across rollbacks and node counts.
+    const bool hot = (ctx.now() < drift_at_) == hot_first_;
+    if (!hot) n = hot_first_ ? drift_at_ / period_ : 0;
+  }
   const bool v = vector_bit(seed_, ctx.self(), n);
   if (v != ((s.b & 1) != 0)) {
     s.b ^= 1;
@@ -185,16 +193,27 @@ SimModel build_model(const circuit::Circuit& c, const ModelOptions& opt) {
     }
   }
 
+  // Drifting stimulus: split the primary inputs into two halves by
+  // ordinal; the first half is hot before stim_drift_at, the second after.
+  std::size_t num_inputs = 0;
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    if (c.type(g) == circuit::GateType::kInput) ++num_inputs;
+  }
+  std::size_t input_ordinal = 0;
+
   SimModel model;
   model.options = opt;
   model.lps.reserve(c.size());
   for (circuit::GateId g = 0; g < c.size(); ++g) {
     switch (c.type(g)) {
-      case circuit::GateType::kInput:
+      case circuit::GateType::kInput: {
+        const bool hot_first = input_ordinal < (num_inputs + 1) / 2;
+        ++input_ordinal;
         model.lps.push_back(std::make_unique<InputLp>(
             std::move(fanout_ports[g]), opt.stim_period, opt.gate_delay,
-            opt.stim_seed));
+            opt.stim_seed, opt.stim_drift_at, hot_first));
         break;
+      }
       case circuit::GateType::kDff:
         model.lps.push_back(std::make_unique<DffLp>(
             std::move(fanout_ports[g]), opt.clock_period, opt.clock_phase,

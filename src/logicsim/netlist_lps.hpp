@@ -35,6 +35,15 @@ struct ModelOptions {
   warped::SimTime clock_phase = 5;  ///< first tick (0 < phase recommended)
   warped::SimTime stim_period = 20; ///< new input vector interval
   std::uint64_t stim_seed = 7;      ///< stimulus stream seed
+
+  /// Drifting stimulus for dynamic-repartitioning experiments: when
+  /// non-zero, the first half of the primary inputs (by ordinal) drives
+  /// fresh vectors only *before* this virtual time and then freezes, while
+  /// the second half freezes first and comes alive *at* this time — the
+  /// hot region of the circuit shifts mid-run.  The live/frozen choice is
+  /// a pure function of virtual time, so the stimulus stays
+  /// history-independent (rollback- and node-count-invariant).  0 = off.
+  warped::SimTime stim_drift_at = 0;
 };
 
 /// One fanout connection: the driven LP and the input port (fanin index)
@@ -109,8 +118,13 @@ class DffLp final : public warped::LogicalProcess {
 
 class InputLp final : public warped::LogicalProcess {
  public:
+  /// `drift_at` / `hot_first` implement ModelOptions::stim_drift_at: with
+  /// drift_at != 0 the input applies fresh vectors only during its hot
+  /// phase (before drift_at when hot_first, after it otherwise) and holds
+  /// a frozen vector index during the cold phase.
   InputLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
-          warped::SimTime delay, std::uint64_t seed);
+          warped::SimTime delay, std::uint64_t seed,
+          warped::SimTime drift_at = 0, bool hot_first = true);
 
   warped::LpState initial_state() const override { return {}; }
   void init(warped::Context& ctx) override;
@@ -130,6 +144,8 @@ class InputLp final : public warped::LogicalProcess {
   warped::SimTime period_;
   warped::SimTime delay_;
   std::uint64_t seed_;
+  warped::SimTime drift_at_ = 0;
+  bool hot_first_ = true;
 };
 
 }  // namespace pls::logicsim

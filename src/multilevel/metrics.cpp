@@ -1,7 +1,9 @@
 #include "multilevel/metrics.hpp"
 
 #include <algorithm>
+#include <numeric>
 
+#include "partition/partition.hpp"
 #include "util/check.hpp"
 
 namespace pls::multilevel {
@@ -15,6 +17,14 @@ double imbalance_from_loads(std::span<const std::uint64_t> loads,
       static_cast<double>(total_weight) / static_cast<double>(k);
   const std::uint64_t mx = *std::max_element(loads.begin(), loads.end());
   return static_cast<double>(mx) / ideal;
+}
+
+double weighted_imbalance(const partition::Partition& p,
+                          const std::vector<std::uint32_t>& vertex_weights) {
+  const std::vector<std::uint64_t> loads = p.loads(vertex_weights);
+  const std::uint64_t total =
+      std::accumulate(loads.begin(), loads.end(), std::uint64_t{0});
+  return imbalance_from_loads(loads, total, p.k);
 }
 
 }  // namespace pls::multilevel

@@ -8,6 +8,11 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
+
+namespace pls::partition {
+struct Partition;
+}
 
 namespace pls::multilevel {
 
@@ -15,5 +20,13 @@ namespace pls::multilevel {
 /// instance (total == 0), matching both historical implementations.
 double imbalance_from_loads(std::span<const std::uint64_t> loads,
                             std::uint64_t total_weight, std::uint32_t k);
+
+/// Imbalance of a partition measured in *work weights* (vertex weights of
+/// a VertexTrafficWeights): the load a node actually carries at runtime.
+/// An empty weight vector means unit weights, where this equals the plain
+/// gate-count imbalance.  This is the before/after drift observable the
+/// dynamic-repartitioning path reports per migration epoch.
+double weighted_imbalance(const partition::Partition& p,
+                          const std::vector<std::uint32_t>& vertex_weights);
 
 }  // namespace pls::multilevel

@@ -1,5 +1,6 @@
 #include "util/timer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
@@ -18,17 +19,25 @@ std::uint64_t spin_kernel(std::uint64_t iters) noexcept {
   return x;
 }
 
-volatile std::uint64_t g_sink;  // defeats dead-code elimination
+// Defeats dead-code elimination; thread-local so concurrent spinners do
+// not share a write target (the value itself is meaningless).
+thread_local volatile std::uint64_t g_sink;
 
 double calibrate() noexcept {
-  // Warm up, then measure a block large enough to amortize clock overhead.
-  g_sink = spin_kernel(10'000);
-  constexpr std::uint64_t kIters = 2'000'000;
-  WallTimer t;
-  g_sink = spin_kernel(kIters);
-  const double ns = static_cast<double>(t.elapsed_ns());
-  if (ns <= 0.0) return 1.0;
-  return static_cast<double>(kIters) / ns;
+  // Preemption can only inflate a trial's wall time, never deflate it, so
+  // the fastest of several short trials is the closest estimate of the
+  // true rate. A single long trial on a contended machine under-estimates
+  // it, and busy_spin_ns then returns far earlier than requested.
+  g_sink = spin_kernel(10'000);  // warm up
+  constexpr std::uint64_t kIters = 500'000;
+  double best = 0.0;
+  for (int trial = 0; trial < 4; ++trial) {
+    WallTimer t;
+    g_sink = spin_kernel(kIters);
+    const double ns = static_cast<double>(t.elapsed_ns());
+    if (ns > 0.0) best = std::max(best, static_cast<double>(kIters) / ns);
+  }
+  return best > 0.0 ? best : 1.0;
 }
 
 double iters_per_ns() noexcept {

@@ -24,6 +24,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <iterator>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -36,13 +38,61 @@ struct NetworkModel {
   std::uint64_t latency_ns = 0;        ///< delivery delay (wall clock)
 };
 
+/// Live LP migration package (dynamic repartitioning; see
+/// src/warped/README.md for the protocol).  The source node cancels the
+/// LP's speculation past GVT, fossil-collects to GVT, and ships everything
+/// that remains — the committed state at the newest surviving snapshot
+/// plus the pending input events — through the *same* mailbox channel as
+/// events.  Riding the normal channel is what keeps the Mattern
+/// transient-message accounting (gvt.hpp) sound for a package in flight:
+/// it is counted before the push and on the drain like any message, and
+/// the carrying InFlight's event.recv_time is the LP's gvt_min_time at
+/// packaging time, so the package holds GVT down until it is installed.
+struct MigrationMsg {
+  LpId lp = kInvalidLp;
+  std::uint32_t from_node = 0;
+  std::uint32_t to_node = 0;
+
+  // Residual Time Warp state (everything at or below the fossil base was
+  // already committed and discarded at the source).
+  LpState state;             ///< state at the newest surviving snapshot
+  LpState initial_state;
+  SimTime last_processed = 0;
+  bool processed_any = false;
+  SimTime replay_until = 0;  ///< coast-forward boundary (lp_runtime.hpp)
+  std::size_t processed_count = 0;
+  std::uint32_t batches_since_snapshot = 0;
+  std::vector<Event> queue;  ///< committed prefix + pending input events
+  std::vector<Snapshot> snapshots;
+  std::vector<Event> output_queue;
+  std::vector<Event> pending_antis;
+
+  /// Monotonic send-id source: must survive the move, or a stale anti in
+  /// flight could annihilate a fresh post-migration send.
+  std::uint64_t next_event_id = 1;
+
+  // Cumulative per-LP counters travel with the LP, so RunStats::per_lp
+  // (and the activity signal fed back into repartitioning) stay
+  // migration-invariant.
+  std::uint64_t events_processed = 0;
+  std::uint64_t events_rolled_back = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t max_rollback_depth = 0;
+  std::uint64_t events_committed = 0;
+  std::uint64_t sends_committed = 0;
+};
+
 /// A message in flight: deliverable once wall-clock `deliver_at_ns`
-/// (relative to the kernel's epoch) has passed.
+/// (relative to the kernel's epoch) has passed.  Carries either a plain
+/// event or a migration package (`migration != nullptr`; `event` then
+/// only supplies the GVT-accounting receive time).  Move-only because of
+/// the package payload.
 struct InFlight {
   std::uint64_t deliver_at_ns = 0;
   std::uint64_t seq = 0;    ///< FIFO tie-break for equal deadlines
   std::uint64_t epoch = 0;  ///< sender's GVT round at push (gvt.hpp color)
   Event event;
+  std::unique_ptr<MigrationMsg> migration;
 
   friend bool operator>(const InFlight& a, const InFlight& b) noexcept {
     if (a.deliver_at_ns != b.deliver_at_ns) {
@@ -70,7 +120,8 @@ class Mailbox {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t n = box_.size();
     if (n != 0) {
-      out.insert(out.end(), box_.begin(), box_.end());
+      out.insert(out.end(), std::make_move_iterator(box_.begin()),
+                 std::make_move_iterator(box_.end()));
       box_.clear();
       approx_size_.fetch_sub(n, std::memory_order_relaxed);
     }

@@ -58,8 +58,31 @@ struct Kernel::Cluster {
 
   // GVT round this node has joined (epoch color of its sends).
   std::uint64_t my_round = 0;
+  // Local minimum this node reported when it joined its current GVT round.
+  // The round's published estimate can never exceed it (the estimate is a
+  // min over all joins), so it bounds from above every GVT value a round
+  // this node already joined may still publish.
+  SimTime last_join_min = kEndOfTime;
   // Last completed-round count this node fossil-collected for.
   std::uint64_t last_fossil_round = 0;
+  // Last migration-plan version this node acted on (emigration scan).
+  std::uint64_t seen_plan_version = 0;
+
+  // Live migration (dynamic repartitioning).  `installed[lp]` is this
+  // node's local view of whether LP lp's runtime state physically lives
+  // here; an event routed here for a not-yet-installed LP (it raced ahead
+  // of the migration package) waits in `limbo` until the install.
+  std::vector<std::uint8_t> installed;
+  std::vector<Event> limbo;
+
+  /// Smallest receive time waiting in limbo (kEndOfTime if none); those
+  /// events are real pending work this node owes the world, so the GVT
+  /// report must cover them exactly like the holding heap's.
+  SimTime limbo_min() const noexcept {
+    SimTime m = kEndOfTime;
+    for (const Event& ev : limbo) m = std::min(m, ev.recv_time);
+    return m;
+  }
 
   std::uint64_t idle_streak = 0;
   NodeStats stats;
@@ -81,9 +104,16 @@ struct Kernel::Cluster {
   }
 
   /// Discard stale heap entries; afterwards the top (if any) is exact.
+  /// An entry for an LP that migrated away is dropped without touching
+  /// its runtime — the destination may be importing into it concurrently.
   void clean_top(const std::vector<LpRuntime>& rts) {
     while (!sched.empty()) {
       const SchedEntry top = sched.front();
+      if (!installed[top.lp]) {
+        std::pop_heap(sched.begin(), sched.end(), std::greater<>{});
+        sched.pop_back();
+        continue;
+      }
       const SimTime actual = rts[top.lp].next_time();
       if (actual == top.time) return;
       std::pop_heap(sched.begin(), sched.end(), std::greater<>{});
@@ -187,6 +217,35 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
   for (LpId i = 0; i < lps_.size(); ++i) {
     clusters_[node_of_[i]]->own_lps.push_back(i);
   }
+  // Live routing table: starts as the static partition; dynamic
+  // repartitioning flips entries at migration time.
+  route_ = std::make_unique<std::atomic<std::uint32_t>[]>(lps_.size());
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    route_[i].store(node_of_[i], std::memory_order_relaxed);
+  }
+  migratory_ = cfg_.repartition_interval > 0 &&
+               static_cast<bool>(cfg_.repartition_hook);
+  for (auto& cl : clusters_) {
+    cl->installed.assign(lps_.size(), 0);
+  }
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    clusters_[node_of_[i]]->installed[i] = 1;
+  }
+  if (migratory_) {
+    plan_ = node_of_;
+    pub_committed_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        lps_.size());
+    pub_sends_ = std::make_unique<std::atomic<std::uint64_t>[]>(lps_.size());
+    for (LpId i = 0; i < lps_.size(); ++i) {
+      pub_committed_[i].store(0, std::memory_order_relaxed);
+      pub_sends_[i].store(0, std::memory_order_relaxed);
+    }
+    plan_ack_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        cfg_.num_nodes);
+    for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+      plan_ack_[n].store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 Kernel::~Kernel() = default;
@@ -225,12 +284,21 @@ void Kernel::node_main(std::uint32_t node) {
   // rolling their LP back, which enqueues cancellation antis right here);
   // remote events pay the network model and land in the peer's mailbox,
   // epoch-tagged and counted for the GVT transient-message accounting.
+  // The route table is re-read per event and per hop, so an event that
+  // chased a migrated LP to its old node simply forwards one more hop.
   auto route_pending = [&] {
     while (!cl.pending.empty()) {
       const Event ev = cl.pending.front();
       cl.pending.pop_front();
-      const std::uint32_t target_node = node_of_[ev.target];
+      const std::uint32_t target_node =
+          route_[ev.target].load(std::memory_order_relaxed);
       if (target_node == node) {
+        if (!cl.installed[ev.target]) {
+          // The LP is migrating here and its package has not arrived yet;
+          // park the event until the install.
+          cl.limbo.push_back(ev);
+          continue;
+        }
         auto res = runtimes_[ev.target].insert(ev);
         if (ev.sign == Sign::kPositive) ++cl.stats.intra_node_events;
         if (res.rolled_back) {
@@ -272,7 +340,9 @@ void Kernel::node_main(std::uint32_t node) {
       // Whites still in the mailbox are caught by the drain counters.
       SimTime local = cl.gvt_report_min(runtimes_);
       local = std::min(local, cl.holding.min_recv_time());
+      local = std::min(local, cl.limbo_min());
       gvt_coord_.join(node, r, local);
+      cl.last_join_min = local;
       cl.my_round = r;
       // GVT-round cadence is the throttle's control period: frequent
       // enough to react to a storm, coarse enough to smooth over noise.
@@ -286,6 +356,19 @@ void Kernel::node_main(std::uint32_t node) {
     if (completed != cl.last_fossil_round) {
       cl.last_fossil_round = completed;
       fossil_round(cl);
+    }
+
+    // --- dynamic repartitioning: act on a freshly published plan ----------
+    if (migratory_) {
+      const std::uint64_t pv = plan_version_.load(std::memory_order_acquire);
+      if (pv != cl.seen_plan_version) {
+        cl.seen_plan_version = pv;
+        emigrate_planned(cl);
+        route_pending();  // antis raised by the packaging rollbacks
+        // Ack after the scan's last read of plan_: the release pairs with
+        // the controller's acquire, licensing it to rewrite the plan.
+        plan_ack_[node].store(pv, std::memory_order_release);
+      }
     }
 
     // --- receive ----------------------------------------------------------
@@ -303,7 +386,12 @@ void Kernel::node_main(std::uint32_t node) {
     }
     const std::uint64_t now_ns = steady_now_ns();
     while (!cl.holding.empty() && cl.holding.top().deliver_at_ns <= now_ns) {
-      cl.pending.push_back(cl.holding.pop().event);
+      InFlight f = cl.holding.pop();
+      if (f.migration != nullptr) {
+        install_migration(cl, std::move(*f.migration));
+      } else {
+        cl.pending.push_back(f.event);
+      }
     }
     route_pending();
 
@@ -437,6 +525,169 @@ void Kernel::controller_poll(std::uint64_t now_ns) {
       gvt_coord_.start_round(ctrl_started_rounds_);
     }
   }
+  // Dynamic repartitioning: on the epoch cadence, once every migration of
+  // the previous plan has installed (so plan_ is quiescent and no LP can
+  // be emigrated twice concurrently), consult the policy hook.
+  if (migratory_ && !done_.load(std::memory_order_relaxed) &&
+      !oom_.load(std::memory_order_relaxed)) {
+    const std::uint64_t completed =
+        completed_rounds_.load(std::memory_order_relaxed);
+    if (completed - ctrl_last_repartition_round_ >=
+            cfg_.repartition_interval &&
+        migrations_outstanding_.load(std::memory_order_acquire) == 0) {
+      // Every node must have finished scanning the current plan before it
+      // may be rewritten (a scan reads plan_ unsynchronized otherwise).
+      const std::uint64_t pv = plan_version_.load(std::memory_order_relaxed);
+      bool all_acked = true;
+      for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+        if (plan_ack_[n].load(std::memory_order_acquire) != pv) {
+          all_acked = false;
+          break;
+        }
+      }
+      const SimTime g = gvt_.load(std::memory_order_relaxed);
+      if (all_acked && g != kEndOfTime) {
+        ctrl_last_repartition_round_ = completed;
+        maybe_repartition(g, completed);
+      }
+    }
+  }
+}
+
+void Kernel::maybe_repartition(SimTime gvt_now, std::uint64_t round) {
+  RepartitionRequest req;
+  req.gvt = gvt_now;
+  req.round = round;
+  req.current.resize(lps_.size());
+  req.events_committed.resize(lps_.size());
+  req.sends_committed.resize(lps_.size());
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    req.current[i] = route_[i].load(std::memory_order_relaxed);
+    req.events_committed[i] =
+        pub_committed_[i].load(std::memory_order_relaxed);
+    req.sends_committed[i] = pub_sends_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<std::uint32_t> next = cfg_.repartition_hook(req);
+  if (next.empty()) return;
+  PLS_CHECK_MSG(next.size() == lps_.size(),
+                "repartition hook returned an assignment of wrong size");
+  std::uint64_t moves = 0;
+  for (LpId i = 0; i < lps_.size(); ++i) {
+    PLS_CHECK_MSG(next[i] < cfg_.num_nodes,
+                  "repartition hook mapped LP " << i << " to node "
+                                                << next[i] << " >= num_nodes");
+    if (next[i] != req.current[i]) ++moves;
+  }
+  if (moves == 0) return;
+  ++repartitions_;
+  plan_ = next;
+  // Order matters: the move count and the plan contents must be visible
+  // before any node observes the version bump.
+  migrations_outstanding_.store(moves, std::memory_order_release);
+  plan_version_.fetch_add(1, std::memory_order_release);
+}
+
+void Kernel::emigrate_planned(Cluster& cl) {
+  // Migration cancellation boundary.  The published GVT alone is NOT a
+  // safe bound: this node has already joined the in-flight round reporting
+  // last_join_min, and the round may conclude with any estimate up to that
+  // value while this scan runs.  Rolling back below it would un-process
+  // events and emit anti-messages *below* a GVT about to be published —
+  // after the round's accounting cut — so peers could fossil-commit the
+  // very events those antis cancel (observed as double commits /
+  // rollback-to-initial corruption).  Cancelling only at or above
+  // max(gvt, last_join_min)+1 keeps every migration-induced message and
+  // newly-unprocessed event safely above any publishable estimate; the
+  // residual speculation ships with the package (export_migration carries
+  // processed events, snapshots and output history) instead of being
+  // cancelled.
+  const SimTime g = gvt_.load(std::memory_order_acquire);
+  const SimTime bound = saturating_add(std::max(g, cl.last_join_min), 1);
+  const std::uint64_t latency = cfg_.network.latency_ns;
+  for (std::size_t i = 0; i < cl.own_lps.size();) {
+    const LpId lp = cl.own_lps[i];
+    const std::uint32_t dest = plan_[lp];
+    if (dest == cl.node) {
+      ++i;
+      continue;
+    }
+    LpRuntime& rt = runtimes_[lp];
+    // 1. Cancel speculation past the safe boundary.  The anti-messages
+    //    route like any rollback's (the caller flushes cl.pending right
+    //    after); the rollback is real work undone, so it feeds the normal
+    //    counters — but not the optimism throttle, since it says nothing
+    //    about how far ahead this node was running.
+    auto res = rt.cancel_uncommitted(bound);
+    if (res.rolled_back) {
+      ++cl.stats.primary_rollbacks;
+      cl.stats.events_rolled_back += res.unprocessed_events;
+      for (Event& anti : res.antis) cl.pending.push_back(anti);
+    }
+    // 2. Commit everything GVT already covers; less to ship.
+    cl.stats.events_committed += rt.fossil_collect(g).committed_events;
+    if (pub_committed_ != nullptr) {
+      pub_committed_[lp].store(rt.events_committed(),
+                               std::memory_order_relaxed);
+      pub_sends_[lp].store(rt.sends_committed(), std::memory_order_relaxed);
+    }
+    // 3. Flip the route *before* shipping: from here on every sender
+    //    forwards to the destination, where events queue in limbo until
+    //    the package installs.  Our own copy is no longer authoritative.
+    cl.installed[lp] = 0;
+    route_[lp].store(dest, std::memory_order_release);
+    // 4. Package the residual state and ship it through the normal
+    //    mailbox channel so the GVT transient accounting covers it; its
+    //    accounting receive time is the LP's pending minimum, so the
+    //    package holds GVT down until installed.
+    auto msg = std::make_unique<MigrationMsg>();
+    msg->from_node = cl.node;
+    msg->to_node = dest;
+    const SimTime pkg_min = rt.gvt_min_time();
+    rt.export_migration(*msg);
+    cl.stats.migration_events_shipped += msg->queue.size();
+    ++cl.stats.lps_migrated_out;
+    if (cfg_.network.send_overhead_ns > 0) {
+      util::busy_spin_ns(cfg_.network.send_overhead_ns);
+    }
+    InFlight f;
+    f.deliver_at_ns = steady_now_ns() + latency;
+    f.seq = cl.net_seq++;
+    f.epoch = cl.my_round;
+    f.event.recv_time = pkg_min;
+    f.event.target = lp;
+    f.event.sender = lp;
+    f.migration = std::move(msg);
+    // Count before pushing, like any send.
+    gvt_coord_.count_send(cl.node, cl.my_round);
+    clusters_[dest]->mailbox.push(std::move(f));
+    // Swap-erase: own_lps order carries no meaning.
+    cl.own_lps[i] = cl.own_lps.back();
+    cl.own_lps.pop_back();
+  }
+}
+
+void Kernel::install_migration(Cluster& cl, MigrationMsg&& msg) {
+  const LpId lp = msg.lp;
+  PLS_CHECK_MSG(route_[lp].load(std::memory_order_relaxed) == cl.node,
+                "migration package delivered to a node that is not the "
+                "plan's destination");
+  PLS_CHECK_MSG(!cl.installed[lp], "double install of LP " << lp);
+  runtimes_[lp].import_migration(std::move(msg));
+  cl.installed[lp] = 1;
+  cl.own_lps.push_back(lp);
+  cl.push_sched(runtimes_[lp].next_time(), lp);
+  ++cl.stats.lps_migrated_in;
+  // Release the events that raced ahead of the package, preserving their
+  // arrival order (the caller's route_pending inserts them next).
+  for (std::size_t i = 0; i < cl.limbo.size();) {
+    if (cl.limbo[i].target == lp) {
+      cl.pending.push_back(cl.limbo[i]);
+      cl.limbo.erase(cl.limbo.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  migrations_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void Kernel::fossil_round(Cluster& cl) {
@@ -446,6 +697,14 @@ void Kernel::fossil_round(Cluster& cl) {
     cl.stats.events_committed +=
         runtimes_[lp].fossil_collect(g).committed_events;
     live += runtimes_[lp].live_entries();
+    if (pub_committed_ != nullptr) {
+      // Republish the committed counters for the controller's next
+      // repartition snapshot (monotone, so staleness is harmless).
+      pub_committed_[lp].store(runtimes_[lp].events_committed(),
+                               std::memory_order_relaxed);
+      pub_sends_[lp].store(runtimes_[lp].sends_committed(),
+                           std::memory_order_relaxed);
+    }
   }
   cl.stats.peak_live_entries = std::max(cl.stats.peak_live_entries, live);
   if (cfg_.max_live_entries_per_node != 0 &&
@@ -552,7 +811,7 @@ void Kernel::dump_stall_diagnostics() const {
                  "[warped]   earliest pending work: LP %u at t=%llu "
                  "(node %u)\n",
                  min_lp, static_cast<unsigned long long>(min_t),
-                 node_of_[min_lp]);
+                 route_[min_lp].load(std::memory_order_relaxed));
   }
   if (worst_lp != kInvalidLp) {
     std::fprintf(stderr,
@@ -561,7 +820,7 @@ void Kernel::dump_stall_diagnostics() const {
                  worst_lp, static_cast<unsigned long long>(worst_rb),
                  static_cast<unsigned long long>(
                      runtimes_[worst_lp].events_rolled_back()),
-                 node_of_[worst_lp]);
+                 route_[worst_lp].load(std::memory_order_relaxed));
   }
 }
 
@@ -602,22 +861,60 @@ RunStats Kernel::run() {
   // Skipped on abnormal exits, whose states are not meaningful anyway.
   if (!stalled_.load(std::memory_order_acquire) &&
       !oom_.load(std::memory_order_acquire)) {
+    // A migration package whose accounting receive time was kEndOfTime
+    // (pure-replay or drained LP) cannot delay the final round, so it may
+    // still sit in a mailbox or holding heap here.  Install those now —
+    // their replay batches and committed counters belong to the run.  Any
+    // *event* still in flight at this point would disprove GVT soundness.
+    for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+      Cluster& cl = *clusters_[n];
+      cl.drain_buf.clear();
+      cl.mailbox.drain(cl.drain_buf);
+      for (auto& f : cl.drain_buf) cl.holding.push(std::move(f));
+      while (!cl.holding.empty()) {
+        InFlight f = cl.holding.pop();
+        if (f.migration == nullptr) {
+          // Only an event beyond the horizon may still be in flight once
+          // GVT hit end-of-time; it can never execute, so drop it.
+          PLS_CHECK_MSG(f.event.recv_time == kEndOfTime,
+                        "event at " << f.event.recv_time
+                                    << " still in flight after termination "
+                                       "(unsound GVT)");
+          continue;
+        }
+        install_migration(cl, std::move(*f.migration));
+      }
+      // A final-sweep install may have released limbo events; like above,
+      // only beyond-horizon events may legitimately remain.
+      for (const Event& ev : cl.pending) {
+        PLS_CHECK_MSG(ev.recv_time == kEndOfTime,
+                      "event left unrouted after termination (unsound GVT)");
+      }
+      for (const Event& ev : cl.limbo) {
+        PLS_CHECK_MSG(ev.recv_time == kEndOfTime,
+                      "event stranded in limbo after termination");
+      }
+      cl.pending.clear();
+      cl.limbo.clear();
+    }
+    // Drain suppressed coast-forward replays over *all* runtimes (an LP
+    // installed a moment ago is already in its destination's own_lps, but
+    // scanning the table directly is immune to cluster bookkeeping).
     std::deque<Event> sink;
     std::vector<Event> scratch;
-    for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
-      for (LpId lp : clusters_[n]->own_lps) {
-        LpRuntime& rt = runtimes_[lp];
-        while (rt.has_unprocessed()) {
-          const SimTime t = rt.begin_batch(scratch);
-          PLS_CHECK_MSG(rt.in_replay(t),
-                        "LP " << lp << " still holds an effectful event at "
-                              << t << " after termination (unsound GVT)");
-          ClusterContext ctx(t, cfg_.end_time, lp, &rt, &sink,
-                             /*suppress=*/true, /*init_mode=*/false);
-          rt.behavior()->execute(ctx, scratch);
-          rt.commit_batch(t, scratch.size());
-          clusters_[n]->stats.events_processed += scratch.size();
-        }
+    for (LpId lp = 0; lp < runtimes_.size(); ++lp) {
+      LpRuntime& rt = runtimes_[lp];
+      Cluster& owner = *clusters_[route_[lp].load(std::memory_order_relaxed)];
+      while (rt.has_unprocessed()) {
+        const SimTime t = rt.begin_batch(scratch);
+        PLS_CHECK_MSG(rt.in_replay(t),
+                      "LP " << lp << " still holds an effectful event at "
+                            << t << " after termination (unsound GVT)");
+        ClusterContext ctx(t, cfg_.end_time, lp, &rt, &sink,
+                           /*suppress=*/true, /*init_mode=*/false);
+        rt.behavior()->execute(ctx, scratch);
+        rt.commit_batch(t, scratch.size());
+        owner.stats.events_processed += scratch.size();
       }
     }
     PLS_CHECK_MSG(sink.empty(), "suppressed replay produced a send");
@@ -628,6 +925,7 @@ RunStats Kernel::run() {
   out.wall_seconds = wall_seconds;
   out.final_gvt = gvt_.load(std::memory_order_acquire);
   out.gvt_cycles = completed_rounds_.load(std::memory_order_acquire);
+  out.repartitions = repartitions_;
   out.out_of_memory = oom_.load(std::memory_order_acquire);
   out.stalled = stalled_.load(std::memory_order_acquire);
   out.per_node.resize(cfg_.num_nodes);

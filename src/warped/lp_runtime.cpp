@@ -43,6 +43,16 @@ void LpRuntime::rollback(SimTime to_time, InsertResult& res) {
       [](const Snapshot& s, SimTime time) { return s.time < time; });
   std::size_t new_processed = 0;
   if (snap == snapshots_.begin()) {
+    // Once anything committed, a fossil pass has retained a base snapshot
+    // at or below GVT, and no legal rollback targets below GVT — so
+    // falling back to the initial state here would silently re-derive
+    // history whose inputs were already fossil-erased (the signature of a
+    // GVT-safety violation, e.g. a migration cancelling below a
+    // concurrently published estimate).
+    PLS_CHECK_MSG(events_committed_ == 0,
+                  "rollback past the fossil base (LP " << id_ << " to time "
+                  << to_time << " with " << events_committed_
+                  << " events committed): GVT safety violated");
     state_ = initial_state_;
     last_processed_ = 0;
     processed_any_ = false;
@@ -110,7 +120,9 @@ LpRuntime::InsertResult LpRuntime::insert(const Event& ev) {
         PLS_CHECK_MSG(false, "positive twin vanished during annihilation");
       }
     }
-    // Twin not here yet (cannot happen over FIFO channels; tolerated).
+    // Twin not here yet: the anti overtook its positive.  Impossible over
+    // plain FIFO channels, but real under migration (a forwarded anti can
+    // beat the twin riding inside the migration package); park it.
     pending_antis_.push_back(ev);
     return res;
   }
@@ -217,6 +229,69 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
   std::erase_if(pending_antis_,
                 [gvt](const Event& e) { return e.recv_time < gvt; });
   return res;
+}
+
+LpRuntime::InsertResult LpRuntime::cancel_uncommitted(SimTime bound) {
+  InsertResult res;
+  // Only a rollback can cancel outputs; if the LP never processed a batch
+  // at or past `bound` there is nothing speculative to cancel — any
+  // remaining replay window's outputs predate `bound` and stay valid.
+  if (processed_any_ && last_processed_ >= bound) rollback(bound, res);
+  return res;
+}
+
+void LpRuntime::export_migration(MigrationMsg& msg) {
+  msg.lp = id_;
+  msg.state = state_;
+  msg.initial_state = initial_state_;
+  msg.last_processed = last_processed_;
+  msg.processed_any = processed_any_;
+  msg.replay_until = replay_until_;
+  msg.processed_count = processed_count_;
+  msg.batches_since_snapshot = batches_since_snapshot_;
+  msg.queue = std::move(queue_);
+  msg.snapshots = std::move(snapshots_);
+  msg.output_queue = std::move(output_queue_);
+  msg.pending_antis = std::move(pending_antis_);
+  msg.next_event_id = next_event_id_;
+  msg.events_processed = events_processed_;
+  msg.events_rolled_back = events_rolled_back_;
+  msg.rollbacks = rollbacks_;
+  msg.max_rollback_depth = max_rollback_depth_;
+  msg.events_committed = events_committed_;
+  msg.sends_committed = sends_committed_;
+  // Leave the husk inert: an empty queue makes next_time()/gvt_min_time()
+  // report kEndOfTime and has_unprocessed() false.  The counters remain so
+  // an abnormal exit (package never installed) still reads committed work.
+  queue_.clear();
+  processed_count_ = 0;
+  snapshots_.clear();
+  output_queue_.clear();
+  pending_antis_.clear();
+}
+
+void LpRuntime::import_migration(MigrationMsg&& msg) {
+  PLS_CHECK_MSG(msg.lp == id_, "migration package installed on wrong LP");
+  PLS_CHECK_MSG(queue_.empty() && !has_unprocessed(),
+                "migration package installed on a live LP");
+  state_ = msg.state;
+  initial_state_ = msg.initial_state;
+  last_processed_ = msg.last_processed;
+  processed_any_ = msg.processed_any;
+  replay_until_ = msg.replay_until;
+  processed_count_ = msg.processed_count;
+  batches_since_snapshot_ = msg.batches_since_snapshot;
+  queue_ = std::move(msg.queue);
+  snapshots_ = std::move(msg.snapshots);
+  output_queue_ = std::move(msg.output_queue);
+  pending_antis_ = std::move(msg.pending_antis);
+  next_event_id_ = msg.next_event_id;
+  events_processed_ = msg.events_processed;
+  events_rolled_back_ = msg.events_rolled_back;
+  rollbacks_ = msg.rollbacks;
+  max_rollback_depth_ = msg.max_rollback_depth;
+  events_committed_ = msg.events_committed;
+  sends_committed_ = msg.sends_committed;
 }
 
 std::uint64_t LpRuntime::finalize() {

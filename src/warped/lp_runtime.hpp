@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "warped/comm.hpp"
 #include "warped/lp.hpp"
 #include "warped/types.hpp"
 
@@ -126,6 +127,25 @@ class LpRuntime {
   /// fossil_collect(kEndOfTime)).  Call only when the simulation is over.
   std::uint64_t finalize();
 
+  // ---- live migration (dynamic repartitioning) ---------------------------
+
+  /// Cancel all speculation at or after `bound` (= GVT+1 for migration:
+  /// no receiver can have fossilized anything a resulting anti-message
+  /// targets).  No-op when the LP never processed that far.  The returned
+  /// anti-messages must be routed by the caller like any rollback's.
+  InsertResult cancel_uncommitted(SimTime bound);
+
+  /// Move the residual Time Warp state into `msg` (call after
+  /// cancel_uncommitted + fossil_collect).  Leaves this slot an empty
+  /// husk: next_time() == kEndOfTime, so a stale scheduler entry at the
+  /// source self-discards, while the committed counters stay readable in
+  /// case the run aborts before the package is installed.
+  void export_migration(MigrationMsg& msg);
+
+  /// Install a shipped LP at the destination: the inverse of
+  /// export_migration, onto this (previously husk) slot.
+  void import_migration(MigrationMsg&& msg);
+
   /// Monotonic event-id source for this LP's sends.  Deliberately *not*
   /// rolled back: re-sends after a rollback get fresh ids, so a stale
   /// anti-message can never annihilate a regenerated positive.
@@ -193,8 +213,10 @@ class LpRuntime {
 
   std::vector<Event> output_queue_;  ///< ascending in send_time
 
-  /// Anti-messages that arrived before their positive twin (cannot happen
-  /// with FIFO channels, kept as defence-in-depth).
+  /// Anti-messages that arrived before their positive twin.  Impossible
+  /// over plain FIFO channels, but *reachable* under migration: an anti
+  /// chasing a moved LP is forwarded over a second hop and can overtake a
+  /// positive twin travelling inside the migration package.
   std::vector<Event> pending_antis_;
 
   std::uint64_t events_processed_ = 0;

@@ -35,6 +35,11 @@ struct NodeStats {
   std::uint64_t throttle_shrinks = 0;  ///< adaptive window contractions
   std::uint64_t throttle_grows = 0;    ///< adaptive window expansions
 
+  // Dynamic repartitioning (live LP migration at GVT epochs).
+  std::uint64_t lps_migrated_out = 0;  ///< LPs this node packaged and shipped
+  std::uint64_t lps_migrated_in = 0;   ///< migration packages installed here
+  std::uint64_t migration_events_shipped = 0;  ///< events inside packages
+
   void merge(const NodeStats& o) noexcept;
 };
 
@@ -63,6 +68,8 @@ struct RunStats {
   double wall_seconds = 0.0;        ///< the paper's "Simulation Time"
   SimTime final_gvt = 0;
   std::uint64_t gvt_cycles = 0;     ///< completed asynchronous GVT rounds
+  std::uint64_t repartitions = 0;   ///< migration plans published (epochs
+                                    ///< where the hook actually moved LPs)
   bool out_of_memory = false;       ///< aborted by the live-event limit
   bool stalled = false;             ///< aborted by the deadlock watchdog
 

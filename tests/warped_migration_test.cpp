@@ -1,0 +1,225 @@
+// Live LP migration (dynamic repartitioning): a rotating repartition hook
+// forces every LP — including the heavily-loaded hub — to migrate between
+// nodes repeatedly mid-run.  The committed results must be bit-identical
+// to a run with no migration at all, the Time Warp accounting identities
+// must survive, and the per-LP counters must travel with their LPs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "warped/kernel.hpp"
+
+namespace pls::warped {
+namespace {
+
+/// Same hub-and-spokes system as warped_kernel_matrix_test: the hub
+/// broadcasts a round counter, every spoke echoes a transform back, the
+/// hub folds echoes into a checksum.  Every edge crosses the hub, so any
+/// migration of hub or spokes rewires live traffic.
+class HubLp final : public LogicalProcess {
+ public:
+  HubLp(LpId first_spoke, LpId num_spokes, SimTime period)
+      : first_(first_spoke), n_(num_spokes), period_(period) {}
+
+  void init(Context& ctx) override {
+    if (period_ <= ctx.end_time()) ctx.schedule_self(period_);
+  }
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    bool tick = false;
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) tick = true;
+      else s.b = s.b * 31 + e.value;
+    }
+    if (!tick) return;
+    s.a += 1;
+    if (ctx.now() + 1 <= ctx.end_time()) {
+      for (LpId i = 0; i < n_; ++i) {
+        ctx.send(first_ + i, ctx.now() + 1, 0, s.a + i);
+      }
+    }
+    if (ctx.now() + period_ <= ctx.end_time()) {
+      ctx.schedule_self(ctx.now() + period_);
+    }
+  }
+
+ private:
+  LpId first_;
+  LpId n_;
+  SimTime period_;
+};
+
+class SpokeLp final : public LogicalProcess {
+ public:
+  explicit SpokeLp(LpId hub) : hub_(hub) {}
+
+  void init(Context&) override {}
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) continue;
+      s.a += e.value;
+      if (ctx.now() + 1 <= ctx.end_time()) {
+        ctx.send(hub_, ctx.now() + 1, 0, s.a ^ (s.a >> 3));
+      }
+    }
+  }
+
+ private:
+  LpId hub_;
+};
+
+struct Star {
+  std::vector<std::unique_ptr<LogicalProcess>> owners;
+  std::vector<LogicalProcess*> lps;
+};
+
+Star make_star(LpId spokes, SimTime period) {
+  Star s;
+  s.owners.push_back(std::make_unique<HubLp>(1, spokes, period));
+  for (LpId i = 0; i < spokes; ++i) {
+    s.owners.push_back(std::make_unique<SpokeLp>(0));
+  }
+  for (auto& o : s.owners) s.lps.push_back(o.get());
+  return s;
+}
+
+RunStats run_star(std::uint32_t nodes, bool migrate, std::uint64_t* plans) {
+  constexpr LpId kSpokes = 14;
+  constexpr SimTime kEnd = 400;
+  Star star = make_star(kSpokes, 7);
+  KernelConfig cfg;
+  cfg.end_time = kEnd;
+  cfg.num_nodes = nodes;
+  cfg.network.latency_ns = 15000;
+  cfg.network.send_overhead_ns = 500;
+  cfg.gvt_interval_us = 500;
+  if (migrate) {
+    // Rotate every LP to the next node at every epoch: the harshest
+    // possible plan (all LPs move, every time, hub included).
+    cfg.repartition_interval = 2;
+    cfg.repartition_hook =
+        [nodes](const RepartitionRequest& req) -> std::vector<std::uint32_t> {
+      std::vector<std::uint32_t> next(req.current.size());
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        next[i] = (req.current[i] + 1) % nodes;
+      }
+      return next;
+    };
+  }
+  std::vector<std::uint32_t> node_of(kSpokes + 1);
+  for (LpId i = 0; i <= kSpokes; ++i) node_of[i] = i % nodes;
+  Kernel kernel(star.lps, node_of, cfg);
+  RunStats out = kernel.run();
+  if (plans != nullptr) *plans = out.repartitions;
+  return out;
+}
+
+TEST(WarpedMigration, RotatingMigrationPreservesCommittedResults) {
+  const RunStats ref = run_star(4, /*migrate=*/false, nullptr);
+  ASSERT_EQ(ref.final_gvt, kEndOfTime);
+
+  // Interleavings differ run to run; committed results must not.
+  for (int rep = 0; rep < 3; ++rep) {
+    std::uint64_t plans = 0;
+    const RunStats out = run_star(4, /*migrate=*/true, &plans);
+
+    // The rotating hook must actually have exercised live migration.
+    EXPECT_GT(plans, 0u) << "rep " << rep;
+    EXPECT_GT(out.totals.lps_migrated_out, 0u) << "rep " << rep;
+    // Every shipped package was installed (none lost in teardown).
+    EXPECT_EQ(out.totals.lps_migrated_out, out.totals.lps_migrated_in)
+        << "rep " << rep;
+
+    // Bit-identical committed state and committed-event totals.
+    ASSERT_EQ(out.final_states.size(), ref.final_states.size());
+    for (std::size_t i = 0; i < ref.final_states.size(); ++i) {
+      EXPECT_EQ(out.final_states[i], ref.final_states[i])
+          << "LP " << i << " rep " << rep;
+    }
+    EXPECT_EQ(out.totals.events_committed, ref.totals.events_committed)
+        << "rep " << rep;
+
+    // Time Warp accounting identities hold across migrations.
+    EXPECT_EQ(out.totals.events_processed,
+              out.totals.events_committed + out.totals.events_rolled_back)
+        << "rep " << rep;
+    EXPECT_EQ(out.final_gvt, kEndOfTime);
+    EXPECT_FALSE(out.out_of_memory);
+    EXPECT_FALSE(out.stalled);
+
+    // Per-LP counters travelled with their LPs: summing them reproduces
+    // the node totals exactly.
+    std::uint64_t per_lp_committed = 0;
+    for (const auto& lp : out.per_lp) per_lp_committed += lp.events_committed;
+    EXPECT_EQ(per_lp_committed, out.totals.events_committed) << "rep " << rep;
+  }
+}
+
+TEST(WarpedMigration, TwoNodeMigrationMatchesSingleNodeReference) {
+  Star ref_star = make_star(10, 7);
+  KernelConfig ref_cfg;
+  ref_cfg.end_time = 300;
+  Kernel ref_kernel(ref_star.lps, std::vector<std::uint32_t>(11, 0), ref_cfg);
+  const RunStats ref = ref_kernel.run();
+
+  std::uint64_t plans = 0;
+  Star star = make_star(10, 7);
+  KernelConfig cfg;
+  cfg.end_time = 300;
+  cfg.num_nodes = 2;
+  cfg.network.latency_ns = 5000;
+  cfg.gvt_interval_us = 500;
+  cfg.repartition_interval = 1;  // every completed round
+  cfg.repartition_hook =
+      [](const RepartitionRequest& req) -> std::vector<std::uint32_t> {
+    std::vector<std::uint32_t> next(req.current.size());
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = 1 - req.current[i];
+    }
+    return next;
+  };
+  std::vector<std::uint32_t> node_of(11);
+  for (LpId i = 0; i < 11; ++i) node_of[i] = i % 2;
+  Kernel kernel(star.lps, node_of, cfg);
+  const RunStats out = kernel.run();
+  plans = out.repartitions;
+
+  EXPECT_GT(plans, 0u);
+  ASSERT_EQ(out.final_states.size(), ref.final_states.size());
+  for (std::size_t i = 0; i < ref.final_states.size(); ++i) {
+    EXPECT_EQ(out.final_states[i], ref.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(out.totals.events_committed, ref.totals.events_committed);
+}
+
+TEST(WarpedMigration, NullHookAndZeroIntervalStayStatic) {
+  // interval > 0 with no hook, and hook with interval 0: both inert.
+  for (int variant = 0; variant < 2; ++variant) {
+    Star star = make_star(6, 7);
+    KernelConfig cfg;
+    cfg.end_time = 200;
+    cfg.num_nodes = 2;
+    if (variant == 0) {
+      cfg.repartition_interval = 2;  // no hook
+    } else {
+      cfg.repartition_hook = [](const RepartitionRequest& req) {
+        return std::vector<std::uint32_t>(req.current.size(), 0);
+      };  // no interval
+    }
+    std::vector<std::uint32_t> node_of(7);
+    for (LpId i = 0; i < 7; ++i) node_of[i] = i % 2;
+    Kernel kernel(star.lps, node_of, cfg);
+    const RunStats out = kernel.run();
+    EXPECT_EQ(out.repartitions, 0u);
+    EXPECT_EQ(out.totals.lps_migrated_out, 0u);
+    EXPECT_EQ(out.final_gvt, kEndOfTime);
+  }
+}
+
+}  // namespace
+}  // namespace pls::warped
