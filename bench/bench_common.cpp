@@ -5,6 +5,7 @@
 
 #include "circuit/generator.hpp"
 #include "framework/registry.hpp"
+#include "obs/export.hpp"
 #include "util/check.hpp"
 
 namespace pls::bench {
@@ -71,6 +72,14 @@ void add_common_flags(util::Cli& cli) {
                "2000");
   cli.add_flag("stim-period", "virtual time between input vectors", "50");
   cli.add_flag("clock-period", "flip-flop clock period", "10");
+  cli.add_flag("trace",
+               "write Perfetto trace JSON here (sweep cells insert their "
+               "label before the extension; empty = off)",
+               "");
+  cli.add_flag("metrics-interval",
+               "metrics sampling interval in ms (0 = off, or 10 when "
+               "--trace is set)",
+               "0");
 }
 
 std::uint64_t get_flag_u64(const util::Cli& cli, const std::string& name,
@@ -114,6 +123,8 @@ BenchConfig config_from_cli(const util::Cli& cli) {
   cfg.gvt_interval_us = get_flag_u64(cli, "gvt-us", 1, 10'000'000);
   cfg.stim_period = get_flag_u64(cli, "stim-period", 1, 1u << 30);
   cfg.clock_period = get_flag_u64(cli, "clock-period", 1, 1u << 30);
+  cfg.trace_path = cli.get("trace");
+  cfg.metrics_interval_ms = get_flag_u64(cli, "metrics-interval", 0, 60'000);
   PLS_CHECK_MSG(cfg.scale > 0.0 && cfg.scale <= 4.0,
                 "--scale must be in (0, 4]");
   PLS_CHECK_MSG(cfg.rollback_budget > 0.0 && cfg.rollback_budget < 1.0,
@@ -269,6 +280,11 @@ framework::DriverConfig driver_config(const BenchConfig& cfg,
   // Applied here so the sequential reference sees the identical workload.
   dc.model.stim_drift_at = cfg.drift ? cfg.end_time / 2 : 0;
   dc.max_live_entries_per_node = cfg.max_live_entries_per_node;
+  dc.obs.trace = !cfg.trace_path.empty();
+  dc.obs.metrics_interval_us = cfg.metrics_interval_ms * 1000;
+  if (dc.obs.trace && dc.obs.metrics_interval_us == 0) {
+    dc.obs.metrics_interval_us = 10'000;  // tracing implies a 10 ms sampler
+  }
   // --activity is deliberately NOT applied here: partition-only and
   // ablation callers build their own weighting, and silently activity-
   // weighting their baseline rows would corrupt the comparison.  Sweeping
@@ -324,7 +340,39 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
   avg.throttle_grows /= n;
   avg.lps_migrated /= n;
   avg.repartitions /= n;
+  export_obs_artifacts(cfg, avg.last,
+                       partitioner + "_" + warped::to_string(mode) +
+                           (activity_mode != "off" ? "_" + activity_mode
+                                                   : std::string()) +
+                           (repartition_mode != "off" ? "_rep"
+                                                      : std::string()) +
+                           "_n" + std::to_string(nodes));
   return avg;
+}
+
+void export_obs_artifacts(const BenchConfig& cfg,
+                          const framework::DriverResult& res,
+                          const std::string& cell_label) {
+  if (cfg.trace_path.empty() || res.obs == nullptr) return;
+  std::string label = cell_label;
+  for (char& ch : label) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == '-';
+    if (!ok) ch = '_';
+  }
+  // Insert the cell label before the extension (after the last '.' in the
+  // file name, not in a directory component).
+  std::string path = cfg.trace_path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot != std::string::npos &&
+      (slash == std::string::npos || dot > slash)) {
+    path.insert(dot, "." + label);
+  } else {
+    path += "." + label;
+  }
+  obs::write_perfetto_trace_file(path, *res.obs);
+  obs::write_metrics_csv_file(path + ".metrics.csv", *res.obs);
 }
 
 double run_sequential_averaged(const circuit::Circuit& c,

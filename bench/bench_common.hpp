@@ -77,6 +77,15 @@ struct BenchConfig {
   /// Per-node live-entry cap (0 = unlimited); emulates the paper's 128 MB
   /// workstations for the Table 2 out-of-memory cell.
   std::size_t max_live_entries_per_node = 0;
+
+  /// Observability (--trace / --metrics-interval): when trace_path is
+  /// non-empty every measured parallel run records a kernel trace and the
+  /// last repeat of each sweep cell is exported as Perfetto JSON (the cell
+  /// label is inserted before the extension) plus a metrics CSV next to
+  /// it.  metrics_interval_ms sizes the background sampler cadence; 0
+  /// with tracing on defaults to 10 ms, 0 with tracing off disables obs.
+  std::string trace_path;
+  std::uint64_t metrics_interval_ms = 0;
 };
 
 /// Register the common flags on a Cli.
@@ -187,5 +196,13 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
 /// Averaged sequential reference run.
 double run_sequential_averaged(const circuit::Circuit& c,
                                const BenchConfig& cfg);
+
+/// Export a finished run's obs artifacts (no-op when cfg.trace_path is
+/// empty or the run carried no session): Perfetto trace JSON at
+/// cfg.trace_path with `.{sanitized cell_label}` inserted before the
+/// extension, and the metrics series at `<that path>.metrics.csv`.
+void export_obs_artifacts(const BenchConfig& cfg,
+                          const framework::DriverResult& res,
+                          const std::string& cell_label);
 
 }  // namespace pls::bench

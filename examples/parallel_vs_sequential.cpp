@@ -12,6 +12,7 @@
 #include "framework/driver.hpp"
 #include "framework/registry.hpp"
 #include "logicsim/equivalence.hpp"
+#include "obs/export.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +35,14 @@ int main(int argc, char** argv) {
                "4 GVT rounds with live LP migration; multilevel strategies "
                "only)",
                "off");
+  cli.add_flag("trace",
+               "write a Perfetto trace of the Multilevel row here (plus "
+               "metrics CSV at <path>.metrics.csv; empty = off)",
+               "");
+  cli.add_flag("metrics-interval",
+               "metrics sampling interval in ms for the traced run (1 ms "
+               "default: smoke-scale runs finish in tens of ms)",
+               "1");
   if (!cli.parse(argc, argv)) return 1;
   warped::ThrottleMode throttle_mode;
   if (!warped::parse_throttle_mode(cli.get("throttle"), &throttle_mode)) {
@@ -76,6 +85,12 @@ int main(int argc, char** argv) {
                  repartition.c_str());
     return 1;
   }
+  const std::string trace_path = cli.get("trace");
+  const std::int64_t metrics_ms = cli.get_int("metrics-interval");
+  if (metrics_ms < 0) {
+    std::fprintf(stderr, "--metrics-interval must be non-negative\n");
+    return 1;
+  }
 
   const auto seq = framework::run_sequential(c, cfg);
   std::printf(
@@ -94,7 +109,22 @@ int main(int argc, char** argv) {
     const bool adaptive = repartition == "gvt" &&
                           framework::strategy_consumes_weights(name);
     cfg.repartition_interval = adaptive ? 4 : 0;
+    // Trace exactly one row — the paper's headline strategy — so the
+    // artifact shows a single run, not six concatenated ones.
+    const bool traced = !trace_path.empty() && name == "Multilevel";
+    cfg.obs = obs::ObsConfig{};
+    if (traced) {
+      cfg.obs.trace = true;
+      cfg.obs.metrics_interval_us =
+          static_cast<std::uint64_t>(metrics_ms) * 1000;
+    }
     const auto res = framework::run_parallel(c, cfg);
+    if (traced && res.obs != nullptr) {
+      if (obs::write_perfetto_trace_file(trace_path, *res.obs)) {
+        std::printf("trace written to %s\n", trace_path.c_str());
+      }
+      obs::write_metrics_csv_file(trace_path + ".metrics.csv", *res.obs);
+    }
     const auto eq = logicsim::check_equivalence(res.run, seq);
     table.add_row(
         {name, util::AsciiTable::num(res.run.wall_seconds, 3),

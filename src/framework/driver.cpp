@@ -23,6 +23,7 @@ logicsim::ActivityProfile warmup_activity(const circuit::Circuit& c,
   DriverConfig warm = cfg;
   warm.use_activity = false;
   warm.end_time = horizon;
+  warm.obs = obs::ObsConfig{};  // never trace/sample the pre-run
   const DriverResult wres = run_parallel(c, warm);
   std::vector<std::uint64_t> events(wres.run.per_lp.size(), 0);
   std::vector<std::uint64_t> transitions(wres.run.per_lp.size(), 0);
@@ -323,8 +324,19 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
     };
   }
 
+  std::shared_ptr<obs::ObsSession> obs;
+  if (cfg.obs.enabled()) {
+    obs = std::make_shared<obs::ObsSession>(cfg.num_nodes, cfg.obs);
+    kc.obs = obs.get();
+  }
+
   warped::Kernel kernel(model.behaviours(), res.partition.assign, kc);
+  if (obs != nullptr) obs->start_sampling();
   res.run = kernel.run();
+  if (obs != nullptr) {
+    obs->stop_sampling();
+    res.obs = std::move(obs);
+  }
   res.lps_migrated = res.run.totals.lps_migrated_out;
   return res;
 }

@@ -10,6 +10,7 @@
 // ~30× an event grain.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "logicsim/netlist_lps.hpp"
 #include "logicsim/sequential.hpp"
 #include "multilevel/weights.hpp"
+#include "obs/session.hpp"
 #include "partition/multilevel_partitioner.hpp"
 #include "partition/partition.hpp"
 #include "warped/kernel.hpp"
@@ -109,6 +111,12 @@ struct DriverConfig {
   /// the power-on transient — every gate stabilizing once — and
   /// repartitioning on that trades the starting partition for noise.
   warped::SimTime repartition_warmup_gvt = 0;
+
+  /// Observability (src/obs/): kernel tracing and/or background metrics
+  /// sampling for the measured run.  Off by default; when enabled the
+  /// finished session is handed back in DriverResult::obs for export.
+  /// Activity pre-runs (warmup mode) are never traced.
+  obs::ObsConfig obs;
 };
 
 /// One adopted (or evaluated) repartition epoch, for post-run analysis.
@@ -142,6 +150,11 @@ struct DriverResult {
   // Dynamic repartitioning outcome (empty / zero when off).
   std::vector<RepartitionEpoch> repartition_epochs;
   std::uint64_t lps_migrated = 0;  ///< total LPs live-migrated
+
+  /// The finished observability session (trace rings read-ready, sampler
+  /// stopped), or null when DriverConfig::obs was off.  shared_ptr keeps
+  /// DriverResult copyable; hand it to the obs:: exporters.
+  std::shared_ptr<obs::ObsSession> obs;
 
   warped::RunStats run;
 };

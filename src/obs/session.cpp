@@ -1,0 +1,29 @@
+#include "obs/session.hpp"
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pls::obs {
+
+ObsSession::ObsSession(std::uint32_t num_nodes, const ObsConfig& cfg)
+    : cfg_(cfg), num_nodes_(num_nodes), t0_ns_(util::steady_now_ns()) {
+  PLS_CHECK_MSG(num_nodes_ >= 1, "ObsSession needs at least one node");
+  if (cfg_.trace) {
+    rings_.reserve(num_nodes_);
+    for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+      rings_.emplace_back(cfg_.ring_capacity);
+    }
+  }
+  gauges_ = std::make_unique<NodeGauges[]>(num_nodes_);
+  sampler_ = std::make_unique<MetricsSampler>(gauges_.get(), num_nodes_,
+                                              &gvt_);
+}
+
+void ObsSession::start_sampling() {
+  if (cfg_.metrics_interval_us == 0) return;
+  sampler_->start(cfg_.metrics_interval_us);
+}
+
+void ObsSession::stop_sampling() { sampler_->stop(); }
+
+}  // namespace pls::obs

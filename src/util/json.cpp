@@ -1,0 +1,117 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace pls::util {
+
+void JsonWriter::before_item() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (!stack_.back().first) os_ << ',';
+    stack_.back().first = false;
+  }
+}
+
+void JsonWriter::escape(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_item();
+  os_ << '{';
+  stack_.push_back(Frame{/*array=*/false, /*first=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PLS_DCHECK(!stack_.empty() && !stack_.back().array);
+  stack_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_item();
+  os_ << '[';
+  stack_.push_back(Frame{/*array=*/true, /*first=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PLS_DCHECK(!stack_.empty() && stack_.back().array);
+  stack_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  PLS_DCHECK(!stack_.empty() && !stack_.back().array && !after_key_);
+  before_item();
+  escape(k);
+  os_ << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_item();
+  escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_item();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_item();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_item();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, int decimals) {
+  before_item();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  os_ << buf;
+  return *this;
+}
+
+}  // namespace pls::util

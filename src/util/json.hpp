@@ -1,0 +1,63 @@
+#pragma once
+// Minimal streaming JSON writer: enough for the observability exporters
+// (trace.json, metrics JSON) without pulling in a dependency.  Handles
+// comma placement and string escaping; the caller is responsible for
+// balanced begin/end calls (checked in debug builds via the nesting
+// depth).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pls::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Fixed-decimal double (JSON has no NaN/Inf; those emit null).
+  JsonWriter& value(double v, int decimals = 3);
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Current nesting depth (0 once the document is closed).
+  std::size_t depth() const noexcept { return stack_.size(); }
+
+ private:
+  void before_item();
+  void escape(std::string_view s);
+
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace pls::util

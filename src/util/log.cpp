@@ -6,6 +6,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/timer.hpp"
+
 namespace pls::util {
 namespace {
 
@@ -18,6 +20,20 @@ std::atomic<int> g_level{[] {
   }
   return 1;  // warnings by default
 }()};
+
+std::atomic<bool> g_timestamps{[] {
+  if (const char* env = std::getenv("PLS_LOG_TIMESTAMPS")) {
+    return std::strcmp(env, "1") == 0 || std::strcmp(env, "true") == 0 ||
+           std::strcmp(env, "on") == 0;
+  }
+  return false;
+}()};
+
+/// Epoch for the +seconds offsets.  Captured at static init, i.e. close
+/// enough to process start for log-reading purposes.
+const std::uint64_t g_t0_ns = steady_now_ns();
+
+thread_local std::string g_thread_tag;
 
 std::mutex g_mutex;
 
@@ -41,11 +57,45 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_timestamps(bool on) noexcept {
+  g_timestamps.store(on, std::memory_order_relaxed);
+}
+
+bool log_timestamps() noexcept {
+  return g_timestamps.load(std::memory_order_relaxed);
+}
+
+void set_log_thread_tag(const std::string& tag) { g_thread_tag = tag; }
+
 namespace detail {
 
+std::string format_line(LogLevel level, const std::string& line,
+                        bool timestamps, double elapsed_s,
+                        const std::string& tag) {
+  std::string out = "[pls ";
+  out += level_name(level);
+  if (timestamps) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " +%.3fs", elapsed_s);
+    out += buf;
+    if (!tag.empty()) {
+      out += ' ';
+      out += tag;
+    }
+  }
+  out += "] ";
+  out += line;
+  return out;
+}
+
 void log_line(LogLevel level, const std::string& line) {
+  const bool ts = log_timestamps();
+  const double elapsed =
+      ts ? static_cast<double>(steady_now_ns() - g_t0_ns) / 1e9 : 0.0;
+  const std::string full = format_line(level, line, ts, elapsed,
+                                       g_thread_tag);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[pls %s] %s\n", level_name(level), line.c_str());
+  std::fprintf(stderr, "%s\n", full.c_str());
 }
 
 }  // namespace detail

@@ -3,6 +3,11 @@
 // kernel logs from every node thread and interleaved partial lines would be
 // unreadable.  Verbosity defaults to warnings-only so test and bench output
 // stays clean; PLS_LOG_LEVEL env var or set_level() raise it.
+//
+// With PLS_LOG_TIMESTAMPS=1 (or set_log_timestamps(true)) each line also
+// carries a monotonic +seconds offset from process start and the emitting
+// thread's tag ("node3", "watchdog", ...), so multi-node kernel logs line
+// up with trace.json timelines: `[pls INFO  +12.345s node3] msg`.
 
 #include <sstream>
 #include <string>
@@ -14,8 +19,22 @@ enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
+/// Monotonic-offset + thread-tag line prefixes; initialized from the
+/// PLS_LOG_TIMESTAMPS env var (1/true/on = on, default off).
+void set_log_timestamps(bool on) noexcept;
+bool log_timestamps() noexcept;
+
+/// Tag this thread's log lines (kernel node threads use "nodeN", the
+/// watchdog "watchdog"); empty clears.  Shown only when timestamps are on.
+void set_log_thread_tag(const std::string& tag);
+
 namespace detail {
 void log_line(LogLevel level, const std::string& line);
+/// Pure formatter, exposed for tests: builds the full output line from
+/// explicit inputs (no globals, no clock).
+std::string format_line(LogLevel level, const std::string& line,
+                        bool timestamps, double elapsed_s,
+                        const std::string& tag);
 }
 
 }  // namespace pls::util

@@ -35,6 +35,16 @@ class WallTimer {
   clock::time_point start_;
 };
 
+/// Monotonic steady-clock "now" in nanoseconds since an arbitrary epoch.
+/// The one clock every timestamp in the codebase (kernel loop deadlines,
+/// trace events, metrics samples) is taken from, so they are comparable.
+inline std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Burn approximately `ns` nanoseconds of CPU time without yielding.
 /// Implemented with a calibrated arithmetic loop; calibration happens once
 /// per process (thread-safe) and takes ~1 ms.

@@ -6,18 +6,15 @@
 #include <deque>
 #include <thread>
 
+#include "obs/session.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace pls::warped {
 namespace {
 
-std::uint64_t steady_now_ns() noexcept {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+using util::steady_now_ns;
 
 struct SchedEntry {
   SimTime time;
@@ -87,6 +84,31 @@ struct Kernel::Cluster {
   std::uint64_t idle_streak = 0;
   NodeStats stats;
   OptimismThrottle throttle;
+
+  // Observability (src/obs/): null = off.  `trace` is this node's ring;
+  // `gauges` the atomic mirrors the background sampler reads.
+  obs::TraceRing* trace = nullptr;
+  obs::NodeGauges* gauges = nullptr;
+  /// Throttle-trajectory entries already traced.
+  std::size_t traced_decisions = 0;
+
+  // Live-memory accounting, maintained incrementally at every queue
+  // mutation (insert, commit, fossil, migration) instead of only at
+  // fossil passes — the high-water mark used to under-report between
+  // fossil passes, exactly when a rollback storm balloons the queues.
+  std::vector<std::size_t> live_of;  ///< per-LP last observed live_entries
+  std::size_t live_now = 0;          ///< == sum(live_of[own LPs])
+
+  /// Refresh `lp`'s contribution to the live count and the peak.
+  void note_live(const std::vector<LpRuntime>& rts, LpId lp) noexcept {
+    const std::size_t cur = rts[lp].live_entries();
+    live_now += cur;
+    live_now -= live_of[lp];
+    live_of[lp] = cur;
+    if (live_now > stats.peak_live_entries) {
+      stats.peak_live_entries = live_now;
+    }
+  }
 
   /// Watchdog progress counter (relaxed; owner increments per batch).
   std::atomic<std::uint64_t> exec_ticks{0};
@@ -227,6 +249,15 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
                static_cast<bool>(cfg_.repartition_hook);
   for (auto& cl : clusters_) {
     cl->installed.assign(lps_.size(), 0);
+    cl->live_of.assign(lps_.size(), 0);
+  }
+  if (cfg_.obs != nullptr) {
+    PLS_CHECK_MSG(cfg_.obs->num_nodes() >= cfg_.num_nodes,
+                  "ObsSession sized for fewer nodes than the kernel runs");
+    for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+      clusters_[n]->trace = cfg_.obs->ring(n);
+      clusters_[n]->gauges = &cfg_.obs->gauges(n);
+    }
   }
   for (LpId i = 0; i < lps_.size(); ++i) {
     clusters_[node_of_[i]]->installed[i] = 1;
@@ -271,6 +302,7 @@ void Kernel::init_all_lps() {
   for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
     for (LpId lp : clusters_[n]->own_lps) {
       clusters_[n]->push_sched(runtimes_[lp].next_time(), lp);
+      clusters_[n]->note_live(runtimes_, lp);
     }
   }
 }
@@ -279,6 +311,8 @@ void Kernel::node_main(std::uint32_t node) {
   Cluster& cl = *clusters_[node];
   const SimTime end = cfg_.end_time;
   const std::uint64_t latency = cfg_.network.latency_ns;
+  // Attribute this thread's log lines (PLS_LOG_TIMESTAMPS=1 shows them).
+  util::set_log_thread_tag("node" + std::to_string(node));
 
   // Routes everything in cl.pending: local events are inserted (possibly
   // rolling their LP back, which enqueues cancellation antis right here);
@@ -309,8 +343,14 @@ void Kernel::node_main(std::uint32_t node) {
           for (Event& anti : res.antis) {
             cl.pending.push_back(anti);
           }
+          if (cl.trace != nullptr) {
+            cl.trace->record(obs::TraceKind::kRollback, steady_now_ns(), 0,
+                             res.unprocessed_events, res.secondary ? 1 : 0,
+                             ev.target);
+          }
         }
         cl.push_sched(runtimes_[ev.target].next_time(), ev.target);
+        cl.note_live(runtimes_, ev.target);
       } else {
         if (cfg_.network.send_overhead_ns > 0) {
           util::busy_spin_ns(cfg_.network.send_overhead_ns);
@@ -344,9 +384,24 @@ void Kernel::node_main(std::uint32_t node) {
       gvt_coord_.join(node, r, local);
       cl.last_join_min = local;
       cl.my_round = r;
+      if (cl.trace != nullptr) {
+        cl.trace->record(obs::TraceKind::kGvtJoin, steady_now_ns(), 0, r,
+                         local);
+      }
       // GVT-round cadence is the throttle's control period: frequent
       // enough to react to a storm, coarse enough to smooth over noise.
       cl.throttle.on_round(r);
+      if (cl.trace != nullptr) {
+        // Decisions land in the trajectory; trace only the new ones.
+        const auto& traj = cl.throttle.trajectory();
+        for (; cl.traced_decisions < traj.size(); ++cl.traced_decisions) {
+          const ThrottleDecision& d = traj[cl.traced_decisions];
+          cl.trace->record(
+              obs::TraceKind::kThrottle, steady_now_ns(), 0, d.window,
+              static_cast<std::uint64_t>(d.rollback_fraction * 1e6),
+              static_cast<std::uint32_t>(d.direction + 1));
+        }
+      }
     }
     if (node == 0) controller_poll(steady_now_ns());
 
@@ -418,6 +473,7 @@ void Kernel::node_main(std::uint32_t node) {
         break;
       }
       LpRuntime& rt = runtimes_[top.lp];
+      const std::uint64_t tb0 = cl.trace != nullptr ? steady_now_ns() : 0;
       const SimTime t = rt.begin_batch(cl.batch_scratch);
       const bool replay = rt.in_replay(t);
       ClusterContext ctx(t, end, top.lp, &rt, &cl.pending, replay,
@@ -425,6 +481,13 @@ void Kernel::node_main(std::uint32_t node) {
       rt.behavior()->execute(ctx, cl.batch_scratch);
       if (cfg_.event_cost_ns > 0) util::busy_spin_ns(cfg_.event_cost_ns);
       rt.commit_batch(t, cl.batch_scratch.size());
+      if (cl.trace != nullptr) {
+        const std::uint64_t tb1 = steady_now_ns();
+        cl.trace->record(obs::TraceKind::kExecBatch, tb0,
+                         tb1 > tb0 ? tb1 - tb0 : 1, cl.batch_scratch.size(),
+                         t, top.lp);
+      }
+      cl.note_live(runtimes_, top.lp);
       cl.stats.events_processed += cl.batch_scratch.size();
       cl.throttle.note_executed(cl.batch_scratch.size(),
                                 t > gvt_now ? t - gvt_now : 0);
@@ -437,6 +500,24 @@ void Kernel::node_main(std::uint32_t node) {
     // round: while batches still execute, the normal cadence is fine.
     cl.window_blocked.store(!executed && blocked_by_window,
                             std::memory_order_relaxed);
+    if (cl.gauges != nullptr) {
+      // Mirror the node's counters into the atomic gauges the background
+      // sampler reads (relaxed: each gauge is an independent time series
+      // and small skew between them is inherent to sampling anyway).
+      obs::NodeGauges& g = *cl.gauges;
+      g.events_processed.store(cl.stats.events_processed,
+                               std::memory_order_relaxed);
+      g.events_committed.store(cl.stats.events_committed,
+                               std::memory_order_relaxed);
+      g.events_rolled_back.store(cl.stats.events_rolled_back,
+                                 std::memory_order_relaxed);
+      g.rollbacks.store(
+          cl.stats.primary_rollbacks + cl.stats.secondary_rollbacks,
+          std::memory_order_relaxed);
+      g.window.store(cl.throttle.window(), std::memory_order_relaxed);
+      g.live_entries.store(cl.live_now, std::memory_order_relaxed);
+      g.holding_events.store(cl.holding.size(), std::memory_order_relaxed);
+    }
     if (executed) {
       ++cl.stats.exec_polls;
       cl.idle_streak = 0;
@@ -494,6 +575,14 @@ void Kernel::controller_poll(std::uint64_t now_ns) {
 #endif
       gvt_.store(std::max(prev, g), std::memory_order_release);
       completed_rounds_.fetch_add(1, std::memory_order_release);
+      if (cfg_.obs != nullptr) {
+        // Publish the fresh estimate for the metrics sampler's GVT gauge.
+        cfg_.obs->set_gvt(std::max(prev, g));
+        if (obs::TraceRing* tr = clusters_[0]->trace; tr != nullptr) {
+          tr->record(obs::TraceKind::kGvtDone, steady_now_ns(), 0, round,
+                     std::max(prev, g));
+        }
+      }
       if (g == kEndOfTime) {
         done_.store(true, std::memory_order_release);
       }
@@ -523,6 +612,10 @@ void Kernel::controller_poll(std::uint64_t now_ns) {
       ctrl_last_trigger_ns_ = now_ns;
       ++ctrl_started_rounds_;
       gvt_coord_.start_round(ctrl_started_rounds_);
+      if (obs::TraceRing* tr = clusters_[0]->trace; tr != nullptr) {
+        tr->record(obs::TraceKind::kGvtStart, steady_now_ns(), 0,
+                   ctrl_started_rounds_, 0);
+      }
     }
   }
   // Dynamic repartitioning: on the epoch cadence, once every migration of
@@ -555,6 +648,18 @@ void Kernel::controller_poll(std::uint64_t now_ns) {
 }
 
 void Kernel::maybe_repartition(SimTime gvt_now, std::uint64_t round) {
+  obs::TraceRing* tr = clusters_[0]->trace;  // runs on node 0's thread
+  const std::uint64_t t0 = tr != nullptr ? steady_now_ns() : 0;
+  std::uint64_t moves = 0;
+  // Trace the epoch even when no plan is published: "evaluated, moved 0"
+  // is itself a repartitioner decision worth seeing on the timeline.
+  const auto trace_epoch = [&] {
+    if (tr != nullptr) {
+      const std::uint64_t t1 = steady_now_ns();
+      tr->record(obs::TraceKind::kRepartition, t0, t1 > t0 ? t1 - t0 : 1,
+                 moves, round);
+    }
+  };
   RepartitionRequest req;
   req.gvt = gvt_now;
   req.round = round;
@@ -568,23 +673,29 @@ void Kernel::maybe_repartition(SimTime gvt_now, std::uint64_t round) {
     req.sends_committed[i] = pub_sends_[i].load(std::memory_order_relaxed);
   }
   const std::vector<std::uint32_t> next = cfg_.repartition_hook(req);
-  if (next.empty()) return;
+  if (next.empty()) {
+    trace_epoch();
+    return;
+  }
   PLS_CHECK_MSG(next.size() == lps_.size(),
                 "repartition hook returned an assignment of wrong size");
-  std::uint64_t moves = 0;
   for (LpId i = 0; i < lps_.size(); ++i) {
     PLS_CHECK_MSG(next[i] < cfg_.num_nodes,
                   "repartition hook mapped LP " << i << " to node "
                                                 << next[i] << " >= num_nodes");
     if (next[i] != req.current[i]) ++moves;
   }
-  if (moves == 0) return;
+  if (moves == 0) {
+    trace_epoch();
+    return;
+  }
   ++repartitions_;
   plan_ = next;
   // Order matters: the move count and the plan contents must be visible
   // before any node observes the version bump.
   migrations_outstanding_.store(moves, std::memory_order_release);
   plan_version_.fetch_add(1, std::memory_order_release);
+  trace_epoch();
 }
 
 void Kernel::emigrate_planned(Cluster& cl) {
@@ -612,6 +723,7 @@ void Kernel::emigrate_planned(Cluster& cl) {
       continue;
     }
     LpRuntime& rt = runtimes_[lp];
+    const std::uint64_t tf0 = cl.trace != nullptr ? steady_now_ns() : 0;
     // 1. Cancel speculation past the safe boundary.  The anti-messages
     //    route like any rollback's (the caller flushes cl.pending right
     //    after); the rollback is real work undone, so it feeds the normal
@@ -644,8 +756,18 @@ void Kernel::emigrate_planned(Cluster& cl) {
     msg->to_node = dest;
     const SimTime pkg_min = rt.gvt_min_time();
     rt.export_migration(*msg);
+    // The LP's queues moved into the package; drop it from live accounting.
+    cl.note_live(runtimes_, lp);
     cl.stats.migration_events_shipped += msg->queue.size();
     ++cl.stats.lps_migrated_out;
+    if (cl.trace != nullptr) {
+      const std::uint64_t tf1 = steady_now_ns();
+      cl.trace->record(obs::TraceKind::kMigrateFreeze, tf0,
+                       tf1 > tf0 ? tf1 - tf0 : 1, res.unprocessed_events, 0,
+                       lp);
+      cl.trace->record(obs::TraceKind::kMigrateShip, tf1, 0, dest,
+                       msg->queue.size(), lp);
+    }
     if (cfg_.network.send_overhead_ns > 0) {
       util::busy_spin_ns(cfg_.network.send_overhead_ns);
     }
@@ -668,6 +790,8 @@ void Kernel::emigrate_planned(Cluster& cl) {
 
 void Kernel::install_migration(Cluster& cl, MigrationMsg&& msg) {
   const LpId lp = msg.lp;
+  const std::uint32_t from = msg.from_node;
+  const std::uint64_t pkg_events = msg.queue.size();
   PLS_CHECK_MSG(route_[lp].load(std::memory_order_relaxed) == cl.node,
                 "migration package delivered to a node that is not the "
                 "plan's destination");
@@ -676,7 +800,12 @@ void Kernel::install_migration(Cluster& cl, MigrationMsg&& msg) {
   cl.installed[lp] = 1;
   cl.own_lps.push_back(lp);
   cl.push_sched(runtimes_[lp].next_time(), lp);
+  cl.note_live(runtimes_, lp);
   ++cl.stats.lps_migrated_in;
+  if (cl.trace != nullptr) {
+    cl.trace->record(obs::TraceKind::kMigrateInstall, steady_now_ns(), 0,
+                     from, pkg_events, lp);
+  }
   // Release the events that raced ahead of the package, preserving their
   // arrival order (the caller's route_pending inserts them next).
   for (std::size_t i = 0; i < cl.limbo.size();) {
@@ -692,11 +821,11 @@ void Kernel::install_migration(Cluster& cl, MigrationMsg&& msg) {
 
 void Kernel::fossil_round(Cluster& cl) {
   const SimTime g = gvt_.load(std::memory_order_acquire);
-  std::size_t live = 0;
+  const std::uint64_t tf0 = cl.trace != nullptr ? steady_now_ns() : 0;
+  std::uint64_t committed = 0;
   for (LpId lp : cl.own_lps) {
-    cl.stats.events_committed +=
-        runtimes_[lp].fossil_collect(g).committed_events;
-    live += runtimes_[lp].live_entries();
+    committed += runtimes_[lp].fossil_collect(g).committed_events;
+    cl.note_live(runtimes_, lp);
     if (pub_committed_ != nullptr) {
       // Republish the committed counters for the controller's next
       // repartition snapshot (monotone, so staleness is harmless).
@@ -706,9 +835,17 @@ void Kernel::fossil_round(Cluster& cl) {
                            std::memory_order_relaxed);
     }
   }
-  cl.stats.peak_live_entries = std::max(cl.stats.peak_live_entries, live);
+  cl.stats.events_committed += committed;
+  if (cl.trace != nullptr) {
+    const std::uint64_t tf1 = steady_now_ns();
+    cl.trace->record(obs::TraceKind::kFossil, tf0, tf1 > tf0 ? tf1 - tf0 : 1,
+                     committed, cl.live_now);
+  }
+  // live_now is maintained incrementally at every queue mutation (see
+  // note_live); the fossil pass just refreshed every own LP, so it equals
+  // the full recomputed sum here.
   if (cfg_.max_live_entries_per_node != 0 &&
-      live > cfg_.max_live_entries_per_node) {
+      cl.live_now > cfg_.max_live_entries_per_node) {
     oom_.store(true, std::memory_order_relaxed);
   }
 }
@@ -722,6 +859,7 @@ std::uint64_t Kernel::total_exec_ticks() const noexcept {
 }
 
 void Kernel::watchdog_main() {
+  util::set_log_thread_tag("watchdog");
   const std::uint64_t timeout_ns = cfg_.watchdog_timeout_ms * 1'000'000ull;
   SimTime last_gvt = gvt_.load(std::memory_order_relaxed);
   std::uint64_t ticks_at_freeze = total_exec_ticks();
@@ -821,6 +959,32 @@ void Kernel::dump_stall_diagnostics() const {
                  static_cast<unsigned long long>(
                      runtimes_[worst_lp].events_rolled_back()),
                  route_[worst_lp].load(std::memory_order_relaxed));
+  }
+  // With tracing on, the ring tails show what each node was doing when it
+  // wedged — usually more telling than the counters above.  Safe to read
+  // here: every producer thread has exited before run() dumps.
+  constexpr std::size_t kTailEvents = 16;
+  for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+    const obs::TraceRing* ring = clusters_[n]->trace;
+    if (ring == nullptr || ring->recorded() == 0) continue;
+    std::fprintf(stderr,
+                 "[warped]   node %u trace tail (%llu recorded, %llu "
+                 "dropped):\n",
+                 n, static_cast<unsigned long long>(ring->recorded()),
+                 static_cast<unsigned long long>(ring->dropped()));
+    const std::uint64_t t0 = cfg_.obs->t0_ns();
+    for (const obs::TraceEvent& ev : ring->tail(kTailEvents)) {
+      std::fprintf(stderr,
+                   "[warped]     +%.6fs %-11s lp=%d a=%llu b=%llu"
+                   " dur=%.3fus\n",
+                   static_cast<double>(ev.ts_ns - t0) / 1e9,
+                   obs::to_string(ev.kind),
+                   ev.lp == ~std::uint32_t{0} ? -1
+                                              : static_cast<int>(ev.lp),
+                   static_cast<unsigned long long>(ev.a),
+                   static_cast<unsigned long long>(ev.b),
+                   static_cast<double>(ev.dur_ns) / 1e3);
+    }
   }
 }
 

@@ -28,6 +28,10 @@
 #include "warped/throttle.hpp"
 #include "warped/types.hpp"
 
+namespace pls::obs {
+class ObsSession;
+}
+
 namespace pls::warped {
 
 /// Snapshot handed to the repartition hook at a GVT epoch (dynamic
@@ -100,6 +104,12 @@ struct KernelConfig {
   /// static partitioning.
   std::uint64_t repartition_interval = 0;
   RepartitionHook repartition_hook;
+
+  /// Observability session (src/obs/): per-node trace rings + metrics
+  /// gauges.  Non-owning, may be null (the default — tracing off costs the
+  /// hot path one pointer test); must outlive run().  The kernel only
+  /// records — the caller starts/stops the sampler and exports.
+  obs::ObsSession* obs = nullptr;
 };
 
 class Kernel {

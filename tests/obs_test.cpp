@@ -1,0 +1,316 @@
+// Tests for the src/obs/ observability subsystem: trace-ring overflow
+// semantics (exact drop counter, newest-wins, non-blocking producer),
+// export determinism modulo timestamps, metrics-sampler lifecycle under
+// concurrent gauge writes, and an end-to-end kernel trace smoke.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "warped/kernel.hpp"
+
+namespace pls::obs {
+namespace {
+
+// ---- TraceRing --------------------------------------------------------
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 16u);   // minimum
+  EXPECT_EQ(TraceRing(16).capacity(), 16u);
+  EXPECT_EQ(TraceRing(17).capacity(), 32u);
+  EXPECT_EQ(TraceRing(100).capacity(), 128u);
+}
+
+TEST(TraceRing, OverflowKeepsExactDropCountAndNewestEvents) {
+  TraceRing ring(16);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ring.record(TraceKind::kExecBatch, /*ts=*/i, /*dur=*/1, /*a=*/i, 0, 0);
+  }
+  EXPECT_EQ(ring.recorded(), 100u);
+  EXPECT_EQ(ring.dropped(), 84u);  // exact: recorded - capacity
+  EXPECT_EQ(ring.size(), 16u);
+
+  // Survivors are the NEWEST 16, oldest first.
+  const std::vector<TraceEvent> all = ring.snapshot();
+  ASSERT_EQ(all.size(), 16u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].a, 84 + i);
+  }
+  const std::vector<TraceEvent> t = ring.tail(4);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.front().a, 96u);
+  EXPECT_EQ(t.back().a, 99u);
+  // tail() larger than held events just returns them all.
+  EXPECT_EQ(ring.tail(1000).size(), 16u);
+}
+
+TEST(TraceRing, NoDropsBelowCapacity) {
+  TraceRing ring(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(TraceKind::kRollback, i, 0, i, 0);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.size(), 10u);
+  EXPECT_EQ(ring.snapshot().front().a, 0u);
+}
+
+TEST(TraceRing, ProducerThreadNeverBlocksAndJoinedReadIsComplete) {
+  // A dedicated producer hammers a tiny ring far past capacity; after the
+  // join the reader must see the exact count and the newest events.
+  TraceRing ring(32);
+  constexpr std::uint64_t kEvents = 100'000;
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      ring.record(TraceKind::kExecBatch, i, 0, i, 0, 7);
+    }
+  });
+  producer.join();
+  EXPECT_EQ(ring.recorded(), kEvents);
+  EXPECT_EQ(ring.dropped(), kEvents - ring.capacity());
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), ring.capacity());
+  EXPECT_EQ(snap.back().a, kEvents - 1);
+}
+
+// ---- export determinism ----------------------------------------------
+
+/// Record the same logical event sequence into a session, with timestamps
+/// offset by `ts_base` to simulate run-to-run timing differences.
+void record_fixture(ObsSession& s, std::uint64_t ts_base) {
+  const std::uint64_t t0 = s.t0_ns();
+  for (std::uint32_t n = 0; n < s.num_nodes(); ++n) {
+    TraceRing* ring = s.ring(n);
+    ASSERT_NE(ring, nullptr);
+    ring->record(TraceKind::kGvtJoin, t0 + ts_base + 10, 0, 1, 42);
+    ring->record(TraceKind::kExecBatch, t0 + ts_base + 20, 5 + ts_base % 7,
+                 3, 100, n);
+    ring->record(TraceKind::kRollback, t0 + ts_base + 30, 0, 2, 1, n);
+    ring->record(TraceKind::kThrottle, t0 + ts_base + 40, 0, 64, 123456, 2);
+    ring->record(TraceKind::kMigrateShip, t0 + ts_base + 50, 0, 1, 9, n);
+  }
+  s.set_gvt(77);
+}
+
+/// Neutralize the only run-dependent fields: "ts" and "dur" values.
+std::string strip_timestamps(std::string json) {
+  static const std::regex ts_re("\"(ts|dur)\":[-0-9.eE+]+");
+  return std::regex_replace(json, ts_re, "\"$1\":0");
+}
+
+TEST(Export, PerfettoTraceIsDeterministicModuloTimestamps) {
+  ObsConfig cfg;
+  cfg.trace = true;
+  cfg.ring_capacity = 64;
+
+  std::string out[2];
+  for (int run = 0; run < 2; ++run) {
+    ObsSession s(2, cfg);
+    record_fixture(s, run == 0 ? 0 : 913);  // different timings per "run"
+    std::ostringstream os;
+    write_perfetto_trace(os, s);
+    out[run] = strip_timestamps(os.str());
+  }
+  EXPECT_EQ(out[0], out[1]);
+  // Sanity: the export really contains the recorded taxonomy.
+  for (const char* needle :
+       {"\"exec\"", "\"rollback\"", "\"throttle\"", "\"mig_ship\"",
+        "\"gvt_join\"", "\"dropped_node0\"", "\"dropped_node1\""}) {
+    EXPECT_NE(out[0].find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Export, TraceJsonParsesAsBalancedJson) {
+  // No JSON library in the image: check structural balance + key facts.
+  ObsConfig cfg;
+  cfg.trace = true;
+  ObsSession s(2, cfg);
+  record_fixture(s, 0);
+  std::ostringstream os;
+  write_perfetto_trace(os, s);
+  const std::string j = os.str();
+  int depth = 0;
+  bool in_str = false, esc = false;
+  for (char ch : j) {
+    if (esc) { esc = false; continue; }
+    if (ch == '\\') { esc = true; continue; }
+    if (ch == '"') { in_str = !in_str; continue; }
+    if (in_str) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_FALSE(in_str);
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+}
+
+// ---- metrics sampler --------------------------------------------------
+
+TEST(MetricsSampler, StartStopJoinsCleanlyUnderConcurrentGaugeWrites) {
+  ObsConfig cfg;
+  cfg.metrics_interval_us = 1000;  // 1 ms
+  ObsSession s(2, cfg);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++v;
+      for (std::uint32_t n = 0; n < 2; ++n) {
+        NodeGauges& g = s.gauges(n);
+        g.events_processed.store(v, std::memory_order_relaxed);
+        g.events_committed.store(v / 2, std::memory_order_relaxed);
+        g.live_entries.store(v % 97, std::memory_order_relaxed);
+      }
+      s.set_gvt(v);
+    }
+  });
+
+  s.start_sampling();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  s.stop_sampling();
+
+  const auto& samples = s.samples();
+  // First sample is immediate, the final one is taken at stop; ~20 ms at
+  // 1 ms cadence yields plenty even on a loaded machine.
+  ASSERT_GE(samples.size(), 3u);
+  EXPECT_EQ(s.samples_truncated(), 0u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].wall_ns, samples[i - 1].wall_ns);
+  }
+  for (const auto& smp : samples) {
+    ASSERT_EQ(smp.nodes.size(), 2u);
+  }
+  // The final sample (taken after the writer joined) sees its last state.
+  const auto& last = samples.back();
+  EXPECT_EQ(last.nodes[0].events_processed, last.gvt);
+}
+
+TEST(MetricsSampler, StopWithoutStartIsANoOp) {
+  ObsConfig cfg;  // interval 0: sampler never starts
+  ObsSession s(1, cfg);
+  s.start_sampling();
+  s.stop_sampling();
+  s.stop_sampling();  // idempotent
+  EXPECT_TRUE(s.samples().empty());
+}
+
+TEST(MetricsExport, CsvAndJsonCarryTheSeries) {
+  ObsConfig cfg;
+  cfg.metrics_interval_us = 1000;
+  ObsSession s(1, cfg);
+  s.gauges(0).events_committed.store(5, std::memory_order_relaxed);
+  s.set_gvt(9);
+  s.start_sampling();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  s.stop_sampling();
+
+  std::ostringstream csv;
+  write_metrics_csv(csv, s);
+  const std::string c = csv.str();
+  EXPECT_EQ(c.rfind("wall_ms,node,metric,value\n", 0), 0u);
+  EXPECT_NE(c.find(",-1,gvt,9"), std::string::npos);
+  EXPECT_NE(c.find(",0,committed,5"), std::string::npos);
+
+  std::ostringstream js;
+  write_metrics_json(js, s);
+  EXPECT_NE(js.str().find("\"samples\""), std::string::npos);
+  EXPECT_NE(js.str().find("\"gvt\":9"), std::string::npos);
+}
+
+// ---- end-to-end kernel smoke -----------------------------------------
+
+/// Minimal two-LP ping-pong across nodes: guarantees cross-node traffic,
+/// GVT rounds and (with a tiny latency skew) at least a few rollbacks.
+class PingLp final : public warped::LogicalProcess {
+ public:
+  PingLp(warped::LpId peer, warped::SimTime period)
+      : peer_(peer), period_(period) {}
+
+  void init(warped::Context& ctx) override {
+    if (period_ <= ctx.end_time()) ctx.schedule_self(period_);
+  }
+
+  void execute(warped::Context& ctx, warped::EventBatch batch) override {
+    warped::LpState& st = ctx.state();
+    for (const auto& e : batch) {
+      if (e.port != warped::kTickPort) st.a += e.value;
+    }
+    if (ctx.now() + 1 <= ctx.end_time()) {
+      ctx.send(peer_, ctx.now() + 1, 0, st.a + 1);
+    }
+    if (ctx.now() + period_ <= ctx.end_time()) {
+      ctx.schedule_self(ctx.now() + period_);
+    }
+  }
+
+ private:
+  warped::LpId peer_;
+  warped::SimTime period_;
+};
+
+TEST(ObsKernel, TwoNodeRunRecordsTraceAndMetrics) {
+  ObsConfig ocfg;
+  ocfg.trace = true;
+  ocfg.metrics_interval_us = 500;
+  ObsSession session(2, ocfg);
+
+  PingLp a(1, 5), b(0, 7);
+  std::vector<warped::LogicalProcess*> lps{&a, &b};
+  warped::KernelConfig kc;
+  kc.num_nodes = 2;
+  kc.end_time = 500;
+  kc.network.latency_ns = 5000;
+  kc.gvt_interval_us = 500;
+  kc.obs = &session;
+  warped::Kernel kernel(lps, {0, 1}, kc);
+  session.start_sampling();
+  const warped::RunStats out = kernel.run();
+  session.stop_sampling();
+
+  EXPECT_EQ(out.final_gvt, warped::kEndOfTime);
+  // Both nodes recorded exec batches and GVT joins.
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    const TraceRing* ring = session.ring(n);
+    ASSERT_NE(ring, nullptr);
+    EXPECT_GT(ring->recorded(), 0u) << "node " << n;
+    bool exec = false, join = false;
+    for (const TraceEvent& ev : ring->snapshot()) {
+      exec |= ev.kind == TraceKind::kExecBatch;
+      join |= ev.kind == TraceKind::kGvtJoin;
+    }
+    EXPECT_TRUE(exec) << "node " << n;
+    EXPECT_TRUE(join) << "node " << n;
+  }
+  // Node 0's controller traced round completions, and the session's GVT
+  // gauge reached end-of-time with it.
+  bool done = false;
+  for (const TraceEvent& ev : session.ring(0)->snapshot()) {
+    done |= ev.kind == TraceKind::kGvtDone;
+  }
+  EXPECT_TRUE(done);
+  EXPECT_EQ(session.gvt(), warped::kEndOfTime);
+  ASSERT_GE(session.samples().size(), 2u);
+
+  // The whole thing exports without tripping the JsonWriter's balance
+  // checks.
+  std::ostringstream os;
+  write_perfetto_trace(os, session);
+  EXPECT_GT(os.str().size(), 100u);
+}
+
+}  // namespace
+}  // namespace pls::obs

@@ -11,6 +11,7 @@
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -308,6 +309,29 @@ TEST(Check, ThrowsWithMessage) {
 
 TEST(Check, PassingCheckIsSilent) {
   EXPECT_NO_THROW(PLS_CHECK(2 + 2 == 4));
+}
+
+TEST(Log, FormatLineWithoutTimestamps) {
+  EXPECT_EQ(detail::format_line(LogLevel::kInfo, "hello", false, 99.0,
+                                "node3"),
+            "[pls INFO ] hello");
+}
+
+TEST(Log, FormatLineWithTimestampsAndTag) {
+  EXPECT_EQ(detail::format_line(LogLevel::kWarn, "msg", true, 1.5, "node3"),
+            "[pls WARN  +1.500s node3] msg");
+  // No tag set: the offset still appears, no trailing tag.
+  EXPECT_EQ(detail::format_line(LogLevel::kError, "boom", true, 0.0, ""),
+            "[pls ERROR +0.000s] boom");
+}
+
+TEST(Log, TimestampToggleRoundTrips) {
+  const bool before = log_timestamps();
+  set_log_timestamps(true);
+  EXPECT_TRUE(log_timestamps());
+  set_log_timestamps(false);
+  EXPECT_FALSE(log_timestamps());
+  set_log_timestamps(before);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/session.hpp"
 #include "warped/kernel.hpp"
 
 namespace pls::warped {
@@ -164,6 +165,47 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.window) + "_" +
              to_string(info.param.mode);
     });
+
+TEST(KernelMatrixExtras, TracingDoesNotChangeCommittedResults) {
+  // Observability is pure observation: the same star with tracing and the
+  // metrics sampler enabled must commit bit-identical results.
+  auto run_once = [](obs::ObsSession* obs) {
+    Star star = make_star(12, 7);
+    KernelConfig cfg;
+    cfg.end_time = 300;
+    cfg.num_nodes = 3;
+    cfg.network.latency_ns = 10000;
+    cfg.network.send_overhead_ns = 500;
+    cfg.gvt_interval_us = 500;
+    cfg.obs = obs;
+    std::vector<std::uint32_t> node_of(13);
+    for (LpId i = 0; i < 13; ++i) node_of[i] = i % 3;
+    Kernel kernel(star.lps, node_of, cfg);
+    return kernel.run();
+  };
+
+  const RunStats off = run_once(nullptr);
+
+  obs::ObsConfig ocfg;
+  ocfg.trace = true;
+  ocfg.metrics_interval_us = 1000;
+  obs::ObsSession session(3, ocfg);
+  session.start_sampling();
+  const RunStats on = run_once(&session);
+  session.stop_sampling();
+
+  ASSERT_EQ(on.final_states.size(), off.final_states.size());
+  for (std::size_t i = 0; i < off.final_states.size(); ++i) {
+    EXPECT_EQ(on.final_states[i], off.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(on.totals.events_committed, off.totals.events_committed);
+  // And the session actually observed the run.
+  std::uint64_t recorded = 0;
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    recorded += session.ring(n)->recorded();
+  }
+  EXPECT_GT(recorded, 0u);
+}
 
 TEST(KernelMatrixExtras, RepeatedRunsAreStable) {
   // Thread interleavings differ between runs; committed results must not.
