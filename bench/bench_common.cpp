@@ -70,6 +70,10 @@ void add_common_flags(util::Cli& cli) {
   cli.add_flag("batch", "LTSF batches per kernel poll", "8");
   cli.add_flag("gvt-us", "wall-clock microseconds between GVT rounds",
                "2000");
+  cli.add_flag("lanes",
+               "bit-parallel stimulus lanes per event word (1 = scalar "
+               "engine, up to 64 Monte Carlo scenarios per run)",
+               "1");
   cli.add_flag("stim-period", "virtual time between input vectors", "50");
   cli.add_flag("clock-period", "flip-flop clock period", "10");
   cli.add_flag("trace",
@@ -121,6 +125,7 @@ BenchConfig config_from_cli(const util::Cli& cli) {
   // Capped well below the kernel's 30 s deadlock watchdog: a GVT interval
   // longer than the watchdog window guarantees a false stall abort.
   cfg.gvt_interval_us = get_flag_u64(cli, "gvt-us", 1, 10'000'000);
+  cfg.lanes = static_cast<std::uint32_t>(get_flag_u64(cli, "lanes", 1, 64));
   cfg.stim_period = get_flag_u64(cli, "stim-period", 1, 1u << 30);
   cfg.clock_period = get_flag_u64(cli, "clock-period", 1, 1u << 30);
   cfg.trace_path = cli.get("trace");
@@ -273,6 +278,7 @@ framework::DriverConfig driver_config(const BenchConfig& cfg,
   dc.optimism_window = cfg.optimism_window;
   dc.max_batches_per_poll = cfg.max_batches_per_poll;
   dc.gvt_interval_us = cfg.gvt_interval_us;
+  dc.lanes = cfg.lanes;
   dc.model.stim_period = cfg.stim_period;
   dc.model.clock_period = cfg.clock_period;
   dc.model.clock_phase = cfg.clock_period / 2;
@@ -325,6 +331,10 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
         static_cast<double>(res.run.totals.throttle_grows);
     avg.lps_migrated += static_cast<double>(res.lps_migrated);
     avg.repartitions += static_cast<double>(res.run.repartitions);
+    for (const auto& lp : res.run.per_lp) {
+      avg.committed_transitions +=
+          static_cast<double>(lp.sends_committed);
+    }
     avg.out_of_memory |= res.run.out_of_memory;
     avg.last = std::move(res);
   }
@@ -340,6 +350,7 @@ AveragedRun run_parallel_averaged(const circuit::Circuit& c,
   avg.throttle_grows /= n;
   avg.lps_migrated /= n;
   avg.repartitions /= n;
+  avg.committed_transitions /= n;
   export_obs_artifacts(cfg, avg.last,
                        partitioner + "_" + warped::to_string(mode) +
                            (activity_mode != "off" ? "_" + activity_mode

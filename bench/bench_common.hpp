@@ -74,6 +74,13 @@ struct BenchConfig {
   warped::SimTime stim_period = 50;
   warped::SimTime clock_period = 10;
 
+  /// Bit-parallel stimulus lanes (--lanes, 1-64): 1 runs the classic
+  /// scalar engine; N > 1 runs N Monte Carlo scenarios per event through
+  /// the batched word-wise engine (DriverConfig::lanes).  Throughput
+  /// columns then report events/sec alongside committed lane
+  /// transitions/sec, the work metric that scales with N.
+  std::uint32_t lanes = 1;
+
   /// Per-node live-entry cap (0 = unlimited); emulates the paper's 128 MB
   /// workstations for the Table 2 out-of-memory cell.
   std::size_t max_live_entries_per_node = 0;
@@ -173,6 +180,10 @@ struct AveragedRun {
   double throttle_grows = 0.0;
   double lps_migrated = 0.0;   ///< LPs live-migrated (dynamic repartitioning)
   double repartitions = 0.0;   ///< migration plans adopted
+  /// Committed lane transitions (popcount-weighted sends): with --lanes N
+  /// one committed event carries up to N of these, so transitions/sec is
+  /// the batching speedup metric.
+  double committed_transitions = 0.0;
   bool out_of_memory = false;
   framework::DriverResult last;  ///< static metrics of the last repeat
 

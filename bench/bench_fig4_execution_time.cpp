@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/fig4_execution_time.csv",
                       {"circuit", "nodes", "strategy", "throttle",
-                       "activity", "seconds", "seq_seconds"});
+                       "activity", "seconds", "seq_seconds", "lanes",
+                       "events_per_s", "trans_per_s",
+                       "trans_per_s_per_lane"});
 
   for (std::uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
     std::vector<std::string> row{std::to_string(nodes),
@@ -45,10 +47,20 @@ int main(int argc, char** argv) {
       const auto avg = bench::run_parallel_averaged(
           c, cfg, cell.strategy, nodes, cell.throttle, cell.activity);
       row.push_back(util::AsciiTable::num(avg.wall_seconds));
+      // Throughput columns: committed events/sec plus committed lane
+      // transitions/sec — with --lanes N one event carries up to N
+      // transitions, so trans_per_s is the batching speedup metric and
+      // trans_per_s_per_lane its per-scenario normalization.
+      const double wall = avg.wall_seconds > 0 ? avg.wall_seconds : 1e-9;
+      const double ev_s = avg.committed / wall;
+      const double tr_s = avg.committed_transitions / wall;
       csv.row({circuit_name, std::to_string(nodes), cell.strategy,
                warped::to_string(cell.throttle), cell.activity,
                util::AsciiTable::num(avg.wall_seconds, 4),
-               util::AsciiTable::num(seq, 4)});
+               util::AsciiTable::num(seq, 4), std::to_string(cfg.lanes),
+               util::AsciiTable::num(ev_s, 1),
+               util::AsciiTable::num(tr_s, 1),
+               util::AsciiTable::num(tr_s / cfg.lanes, 1)});
       std::fflush(stdout);
     }
     table.add_row(row);

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
   util::AsciiTable table(header);
   util::CsvWriter csv(cfg.csv_dir + "/table2_simulation_time.csv",
                       {"circuit", "seq_seconds", "nodes", "strategy",
-                       "throttle", "activity", "seconds", "oom"});
+                       "throttle", "activity", "seconds", "oom", "lanes",
+                       "events_per_s", "trans_per_s",
+                       "trans_per_s_per_lane"});
 
   for (const char* name : {"s5378", "s9234", "s15850"}) {
     const circuit::Circuit c = bench::make_benchmark(name, cfg);
@@ -58,11 +60,17 @@ int main(int argc, char** argv) {
         row.push_back(avg.out_of_memory
                           ? "-"
                           : util::AsciiTable::num(avg.wall_seconds));
+        const double wall = avg.wall_seconds > 0 ? avg.wall_seconds : 1e-9;
+        const double ev_s = avg.committed / wall;
+        const double tr_s = avg.committed_transitions / wall;
         csv.row({name, util::AsciiTable::num(seq, 4),
                  std::to_string(nodes), cell.strategy,
                  warped::to_string(cell.throttle), cell.activity,
                  util::AsciiTable::num(avg.wall_seconds, 4),
-                 avg.out_of_memory ? "1" : "0"});
+                 avg.out_of_memory ? "1" : "0", std::to_string(cfg.lanes),
+                 util::AsciiTable::num(ev_s, 1),
+                 util::AsciiTable::num(tr_s, 1),
+                 util::AsciiTable::num(tr_s / cfg.lanes, 1)});
         std::fflush(stdout);
       }
       table.add_row(row);

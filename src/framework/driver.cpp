@@ -68,6 +68,7 @@ DriverResult partition_circuit(const circuit::Circuit& c,
       // Profile the exact stimulus the measured run will see.
       logicsim::ModelOptions mo = cfg.model;
       mo.stim_seed = cfg.seed;
+      mo.lanes = cfg.lanes;
       profile = logicsim::profile_activity(c, mo, horizon);
       res.activity_mode = "profile";
     } else {
@@ -113,6 +114,8 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
 
   logicsim::ModelOptions model_opt = cfg.model;
   model_opt.stim_seed = cfg.seed;
+  model_opt.lanes = cfg.lanes;
+  res.lanes = cfg.lanes;
   logicsim::SimModel model = logicsim::build_model(c, model_opt);
 
   warped::KernelConfig kc;
@@ -346,6 +349,7 @@ logicsim::SeqStats run_sequential(const circuit::Circuit& c,
   PLS_CHECK(c.frozen());
   logicsim::ModelOptions model_opt = cfg.model;
   model_opt.stim_seed = cfg.seed;
+  model_opt.lanes = cfg.lanes;
   logicsim::SimModel model = logicsim::build_model(c, model_opt);
   return logicsim::simulate_sequential(model.behaviours(), cfg.end_time,
                                        cfg.event_cost_ns);

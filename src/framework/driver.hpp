@@ -31,6 +31,13 @@ struct DriverConfig {
   std::uint64_t seed = 2000;          ///< partitioning / stimulus seed
   warped::SimTime end_time = 2000;    ///< virtual-time horizon
 
+  /// Bit-parallel stimulus lanes in [1, 64] (authoritative; copied over
+  /// model.lanes).  1 = classic scalar run.  Lane j of a batched run is
+  /// bit-identical to a scalar run with seed lane_seed(seed, j) — see
+  /// logicsim/lanes.hpp; fault-simulation runs set model.faults and
+  /// model.uniform_stimulus on top.
+  std::uint32_t lanes = 1;
+
   logicsim::ModelOptions model;
 
   // Modeled testbed (see header comment).
@@ -156,7 +163,18 @@ struct DriverResult {
   /// DriverResult copyable; hand it to the obs:: exporters.
   std::shared_ptr<obs::ObsSession> obs;
 
+  /// Stimulus lanes the run was batched over (DriverConfig::lanes).
+  std::uint32_t lanes = 1;
+
   warped::RunStats run;
+
+  /// Per-lane result extraction: the committed final states of one lane,
+  /// projected onto the scalar state layout (logicsim::extract_lane_states
+  /// over run.final_states).  Requires a batched run (lanes >= 2) of `c`.
+  std::vector<warped::LpState> lane_states(const circuit::Circuit& c,
+                                           unsigned lane) const {
+    return logicsim::extract_lane_states(c, run.final_states, lane);
+  }
 };
 
 /// Partition `c` with the configured strategy and simulate it in parallel.

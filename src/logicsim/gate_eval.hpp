@@ -37,4 +37,44 @@ inline bool eval_gate(circuit::GateType type, std::uint64_t inputs,
   return false;
 }
 
+/// Word-wise (bit-parallel) gate evaluation: `inputs[p]` holds one value
+/// bit per lane for fanin p, and lane j of the result is exactly
+/// eval_gate(type, <bit j of each input>, arity) — 64 scalar evaluations
+/// in a handful of word ops.  The reduce runs over all 64 bit positions at
+/// once; the *caller* masks the result to its active lanes (a gate does
+/// not know the run's lane count, and unused high lanes carry garbage from
+/// the NOT/NAND/NOR/XNOR complements).
+inline std::uint64_t eval_gate_word(circuit::GateType type,
+                                    const std::uint64_t* inputs,
+                                    unsigned arity) noexcept {
+  PLS_DCHECK(arity >= 1);
+  std::uint64_t r;
+  switch (type) {
+    case circuit::GateType::kBuf:
+      return inputs[0];
+    case circuit::GateType::kNot:
+      return ~inputs[0];
+    case circuit::GateType::kAnd:
+    case circuit::GateType::kNand:
+      r = inputs[0];
+      for (unsigned p = 1; p < arity; ++p) r &= inputs[p];
+      return type == circuit::GateType::kAnd ? r : ~r;
+    case circuit::GateType::kOr:
+    case circuit::GateType::kNor:
+      r = inputs[0];
+      for (unsigned p = 1; p < arity; ++p) r |= inputs[p];
+      return type == circuit::GateType::kOr ? r : ~r;
+    case circuit::GateType::kXor:
+    case circuit::GateType::kXnor:
+      r = inputs[0];
+      for (unsigned p = 1; p < arity; ++p) r ^= inputs[p];
+      return type == circuit::GateType::kXor ? r : ~r;
+    case circuit::GateType::kInput:
+    case circuit::GateType::kDff:
+      break;  // handled by their dedicated LPs
+  }
+  PLS_DCHECK(false);
+  return 0;
+}
+
 }  // namespace pls::logicsim

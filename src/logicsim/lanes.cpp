@@ -1,0 +1,93 @@
+#include "logicsim/lanes.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace pls::logicsim {
+
+using warped::LpState;
+
+std::vector<StuckAtFault> sample_faults(const circuit::Circuit& c,
+                                        std::size_t count,
+                                        std::uint64_t seed) {
+  PLS_CHECK_MSG(c.size() > 0, "cannot sample faults from an empty circuit");
+  count = std::min<std::size_t>({count, kMaxLanes - 1, c.size()});
+  std::vector<StuckAtFault> out;
+  out.reserve(count);
+  std::vector<std::uint8_t> used(c.size(), 0);
+  util::SplitMix64 h(seed);
+  while (out.size() < count) {
+    const auto g = static_cast<circuit::GateId>(h.next() % c.size());
+    if (used[g]) continue;  // distinct sites: each lane probes new logic
+    used[g] = 1;
+    out.push_back(StuckAtFault{g, (h.next() & 1) != 0});
+  }
+  return out;
+}
+
+std::vector<LpState> extract_lane_states(const circuit::Circuit& c,
+                                         const std::vector<LpState>& wide,
+                                         unsigned lane) {
+  PLS_CHECK_MSG(wide.size() == c.size(),
+                "final-state vector does not match the circuit");
+  PLS_CHECK_MSG(lane < kMaxLanes, "lane out of range");
+  std::vector<LpState> out(wide.size());
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    const LpState& w = wide[g];
+    LpState& s = out[g];
+    switch (c.type(g)) {
+      case circuit::GateType::kInput:
+        // Scalar InputLp: b bit 0 = current stimulus value, a unused.
+        s.b = (w.b >> lane) & 1;
+        break;
+      case circuit::GateType::kDff:
+        // Scalar DffLp: a = latched D, b = Q.
+        s.a = (w.a >> lane) & 1;
+        s.b = (w.b >> lane) & 1;
+        break;
+      default: {
+        // Scalar GateLp packs fanin bits into a (bit p = input p); the
+        // batched gate keeps one lane word per fanin in w.w[p].
+        const auto arity = c.fanins(g).size();
+        PLS_CHECK_MSG(w.w.size() == arity,
+                      "gate " << g << " state is not batched (lanes < 2?)");
+        for (std::size_t p = 0; p < arity; ++p) {
+          s.a |= ((w.w[p] >> lane) & 1) << p;
+        }
+        s.b = (w.b >> lane) & 1;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<bool> detected_faults(const circuit::Circuit& c,
+                                  const std::vector<StuckAtFault>& faults,
+                                  const std::vector<LpState>& finals) {
+  PLS_CHECK_MSG(finals.size() == c.size(),
+                "final-state vector does not match the circuit");
+  PLS_CHECK_MSG(faults.size() < kMaxLanes,
+                "at most 63 faults fit beside the fault-free lane 0");
+  // OR together the divergence accumulators of every observing gate.  The
+  // accumulator slot depends on the behaviour's state layout: DFFs keep
+  // a = D, b = Q and w[0] = armed lanes, so their accumulator lives in
+  // w[1]; input and combinational LPs keep it in a.
+  std::uint64_t divergent = 0;
+  for (circuit::GateId g : c.primary_outputs()) {
+    if (c.type(g) == circuit::GateType::kDff) {
+      divergent |= finals[g].w.size() >= 2 ? finals[g].w[1] : 0;
+    } else {
+      divergent |= finals[g].a;
+    }
+  }
+  std::vector<bool> out(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out[i] = ((divergent >> (i + 1)) & 1) != 0;
+  }
+  return out;
+}
+
+}  // namespace pls::logicsim

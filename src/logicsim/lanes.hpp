@@ -1,0 +1,88 @@
+#pragma once
+// Batched-stimulus lane utilities: seeds, masks, per-lane state extraction
+// and stuck-at fault bookkeeping for the bit-parallel 64-wide engine.
+//
+// A batched run packs up to 64 independent stimulus scenarios into the bit
+// lanes of each net's `uint64_t` value word (see gate_eval.hpp
+// eval_gate_word and the Batch* LPs in netlist_lps.hpp).  The correctness
+// contract is the *lane-equivalence* property this module makes checkable:
+//
+//   lane j of a batched run with base seed S is bit-identical to an
+//   independent scalar (lanes = 1) run with seed lane_seed(S, j),
+//   and lane_seed(S, 0) == S.
+//
+// extract_lane_states() projects a batched run's final LP states onto the
+// scalar state layout for one lane, so the existing state-vector compare
+// closes the loop against a real scalar run — on either backend, under
+// rollback storms and live migration alike (the kernel never interprets
+// the payload, so nothing lane-specific exists to get wrong there; the
+// test exists to prove that).
+//
+// Stuck-at fault simulation (the classic bit-parallel application): lane 0
+// is the fault-free reference and lanes 1..k each carry one StuckAtFault.
+// Observing gates (primary outputs) accumulate, monotonically, the lanes
+// whose output ever diverged from lane 0; detected_faults() reads those
+// accumulators back out of the final states.  The accumulator lives in
+// kernel-snapshotted LpState, so rollbacks cannot leak phantom detections.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "warped/types.hpp"
+
+namespace pls::logicsim {
+
+inline constexpr unsigned kMaxLanes = 64;
+
+/// Active-lane mask for a lane count in [1, 64].
+constexpr std::uint64_t lane_mask(unsigned lanes) noexcept {
+  return lanes >= 64 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << lanes) - 1);
+}
+
+/// Stimulus seed lane j of a batched run draws its vectors from.  Lane 0
+/// reproduces the base seed exactly, so a 1-lane batched run is the scalar
+/// run; other lanes decorrelate through an odd multiplicative constant
+/// (every lane keeps a distinct seed for any base).
+constexpr std::uint64_t lane_seed(std::uint64_t base, unsigned lane) noexcept {
+  return base ^ (std::uint64_t{lane} * 0xd1b54a32d192ed03ULL);
+}
+
+/// One injected stuck-at fault: the named gate's output signal is forced
+/// to `stuck_value` on the lane carrying this fault (lane = 1 + index in
+/// ModelOptions::faults; lane 0 stays fault-free).
+struct StuckAtFault {
+  circuit::GateId gate = 0;
+  bool stuck_value = false;
+
+  friend bool operator==(const StuckAtFault&,
+                         const StuckAtFault&) noexcept = default;
+};
+
+/// Deterministically pick `count` distinct single-stuck-at faults spread
+/// over the circuit's non-input gates (seeded; count is clamped to
+/// kMaxLanes - 1 and to the available fault sites).
+std::vector<StuckAtFault> sample_faults(const circuit::Circuit& c,
+                                        std::size_t count,
+                                        std::uint64_t seed);
+
+/// Project the final LP states of a batched run onto the scalar state
+/// layout for one lane: the result compares equal (operator==) to the
+/// final_states of an independent scalar run of the same circuit with
+/// seed lane_seed(base, lane).  `wide` must come from a lanes >= 1 model
+/// built for this circuit; fault-detection accumulators are excluded from
+/// the projection (they have no scalar counterpart).
+std::vector<warped::LpState> extract_lane_states(
+    const circuit::Circuit& c, const std::vector<warped::LpState>& wide,
+    unsigned lane);
+
+/// Read the fault-detection verdict out of a finished fault-simulation
+/// run: element i is true iff faults[i] (carried on lane i + 1) drove any
+/// primary output to a value different from fault-free lane 0 at any
+/// committed point of the run.
+std::vector<bool> detected_faults(const circuit::Circuit& c,
+                                  const std::vector<StuckAtFault>& faults,
+                                  const std::vector<warped::LpState>& finals);
+
+}  // namespace pls::logicsim

@@ -175,11 +175,248 @@ void InputLp::execute(Context& ctx, EventBatch batch) {
 }
 
 // ---------------------------------------------------------------------------
+// BatchGateLp
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Divergence of each active lane against lane 0: bit j set iff value bit
+/// j differs from value bit 0.  Bit 0 is always clear (lane 0 is its own
+/// reference), so observing gates accumulate only genuine fault effects.
+inline std::uint64_t divergence_from_lane0(std::uint64_t value,
+                                           std::uint64_t lanes) noexcept {
+  return (value ^ ((value & 1) ? ~std::uint64_t{0} : 0)) & lanes;
+}
+
+}  // namespace
+
+BatchGateLp::BatchGateLp(circuit::GateType type, std::uint32_t arity,
+                         std::vector<FanoutPort> fanouts, SimTime delay,
+                         std::uint32_t lanes, std::uint64_t sa_mask,
+                         std::uint64_t sa_value, bool observe)
+    : type_(type), arity_(arity), fanouts_(std::move(fanouts)),
+      delay_(delay), lane_mask_(logicsim::lane_mask(lanes)),
+      sa_mask_(sa_mask & lane_mask_),
+      sa_value_(sa_value & sa_mask & lane_mask_), observe_(observe) {
+  PLS_CHECK_MSG(arity_ >= 1 && arity_ <= 64,
+                "gate arity must be in [1,64] (scalar-equivalence bound)");
+  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
+  PLS_CHECK(delay_ >= 1);
+}
+
+warped::LpState BatchGateLp::initial_state() const {
+  LpState s;
+  s.w.assign(arity_, 0);  // one lane word per fanin
+  return s;
+}
+
+void BatchGateLp::init(Context& ctx) {
+  ctx.schedule_self(0);  // power-on evaluation, as in the scalar GateLp
+}
+
+void BatchGateLp::execute(Context& ctx, EventBatch batch) {
+  LpState& s = ctx.state();
+  for (const auto& ev : batch) {
+    if (ev.port == kTickPort) continue;  // power-on tick: just evaluate
+    PLS_DCHECK(ev.port < arity_);
+    // Masked application: lanes outside ev.mask keep their old value, so
+    // an event can never perturb a lane whose driver did not change.
+    s.w[ev.port] = (s.w[ev.port] & ~ev.mask) | (ev.value & ev.mask);
+  }
+  std::uint64_t out = eval_gate_word(type_, s.w.data(), arity_) & lane_mask_;
+  out = (out & ~sa_mask_) | sa_value_;
+  const std::uint64_t diff = out ^ s.b;
+  if (diff != 0) {
+    s.b = out;
+    const SimTime at = ctx.now() + delay_;
+    if (at <= ctx.end_time()) {
+      for (const auto& f : fanouts_) {
+        ctx.send(f.target, at, f.port, out, diff);
+      }
+    }
+  }
+  if (observe_) s.a |= divergence_from_lane0(out, lane_mask_);
+}
+
+// ---------------------------------------------------------------------------
+// BatchDffLp
+// ---------------------------------------------------------------------------
+
+BatchDffLp::BatchDffLp(std::vector<FanoutPort> fanouts, SimTime period,
+                       SimTime phase, SimTime delay, std::uint32_t lanes,
+                       std::uint64_t sa_mask, std::uint64_t sa_value,
+                       bool observe)
+    : fanouts_(std::move(fanouts)), period_(period), phase_(phase),
+      delay_(delay), lane_mask_(logicsim::lane_mask(lanes)),
+      sa_mask_(sa_mask & lane_mask_),
+      sa_value_(sa_value & sa_mask & lane_mask_), observe_(observe) {
+  PLS_CHECK(period_ >= 1);
+  PLS_CHECK(phase_ >= 1);
+  PLS_CHECK(delay_ >= 1);
+  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
+}
+
+warped::LpState BatchDffLp::initial_state() const {
+  LpState s;
+  s.w.assign(observe_ ? 2 : 1, 0);  // w[0] = armed lanes, w[1] observes
+  return s;
+}
+
+void BatchDffLp::init(Context& ctx) {
+  // Clock suppression as in the scalar DffLp: a sampling tick exists only
+  // at the init edge (phase) and at edges armed by a D change.  Arming is
+  // tracked *per lane* (state word w[0]): a scalar DFF whose D changes
+  // exactly on an edge it did not arm captures one period later, so a
+  // batched lane must not be sampled by an edge some other lane armed.
+  if (phase_ <= ctx.end_time()) ctx.schedule_self(phase_);
+}
+
+warped::SimTime BatchDffLp::next_edge_at_or_after(SimTime t) const {
+  if (t <= phase_) return phase_;
+  const SimTime k = (t - phase_ + period_ - 1) / period_;
+  return phase_ + k * period_;
+}
+
+void BatchDffLp::execute(Context& ctx, EventBatch batch) {
+  LpState& s = ctx.state();
+  // Data first, then clock: a D arriving exactly on the edge is captured
+  // (by the lanes that own a tick at this edge — see below).
+  bool tick = false;
+  std::uint64_t changed = 0;
+  for (const auto& ev : batch) {
+    if (ev.port == kTickPort) {
+      tick = true;
+    } else {
+      PLS_DCHECK(ev.port == 0);
+      s.a = (s.a & ~ev.mask) | (ev.value & ev.mask);
+      changed |= ev.mask & lane_mask_;
+    }
+  }
+
+  if (changed != 0 && !tick) {
+    // Arm the changed lanes for the next edge.  All armed lanes always
+    // pend the *same* edge: arming times since the last processed edge
+    // map to one next_edge, and the tick batch at that edge re-arms
+    // on-edge changes afresh.
+    s.w[0] |= changed;
+    const SimTime edge = next_edge_at_or_after(ctx.now() + 1);
+    if (edge <= ctx.end_time()) ctx.schedule_self(edge);
+    return;
+  }
+  if (!tick) return;
+
+  // Per-lane clock suppression: lane j samples at this edge iff its
+  // scalar run has a tick here — the init edge (sampled by everyone) or
+  // an edge lane j armed itself.  A lane whose D changed exactly on a
+  // foreign-armed edge instead arms the next edge, like its scalar twin.
+  const std::uint64_t sample =
+      ctx.now() == phase_ ? lane_mask_ : (s.w[0] & lane_mask_);
+  s.w[0] = changed & ~sample;
+  if (s.w[0] != 0) {
+    const SimTime edge = next_edge_at_or_after(ctx.now() + 1);
+    if (edge <= ctx.end_time()) ctx.schedule_self(edge);
+  }
+
+  std::uint64_t q = ((s.b & ~sample) | (s.a & sample)) & lane_mask_;
+  q = (q & ~sa_mask_) | sa_value_;
+  const std::uint64_t diff = q ^ s.b;
+  if (diff != 0) {
+    s.b = q;
+    const SimTime at = ctx.now() + delay_;
+    if (at <= ctx.end_time()) {
+      for (const auto& f : fanouts_) {
+        ctx.send(f.target, at, f.port, q, diff);
+      }
+    }
+  }
+  if (observe_) s.w[1] |= divergence_from_lane0(q, lane_mask_);
+}
+
+// ---------------------------------------------------------------------------
+// BatchInputLp
+// ---------------------------------------------------------------------------
+
+BatchInputLp::BatchInputLp(std::vector<FanoutPort> fanouts, SimTime period,
+                           SimTime delay, std::uint64_t seed,
+                           std::uint32_t lanes, bool uniform_stimulus,
+                           SimTime drift_at, bool hot_first,
+                           std::uint64_t sa_mask, std::uint64_t sa_value,
+                           bool observe)
+    : fanouts_(std::move(fanouts)), period_(period), delay_(delay),
+      seed_(seed), lanes_(lanes), lane_mask_(logicsim::lane_mask(lanes)),
+      uniform_(uniform_stimulus), drift_at_(drift_at),
+      hot_first_(hot_first), sa_mask_(sa_mask & lane_mask_),
+      sa_value_(sa_value & sa_mask & lane_mask_), observe_(observe) {
+  PLS_CHECK(period_ >= 1);
+  PLS_CHECK(delay_ >= 1);
+  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
+}
+
+warped::LpState BatchInputLp::initial_state() const { return {}; }
+
+std::uint64_t BatchInputLp::vector_word(std::uint64_t seed, warped::LpId lp,
+                                        std::uint64_t n, std::uint32_t lanes,
+                                        bool uniform) noexcept {
+  if (uniform) {
+    return InputLp::vector_bit(seed, lp, n) ? ~std::uint64_t{0} : 0;
+  }
+  std::uint64_t w = 0;
+  for (std::uint32_t j = 0; j < lanes && j < kMaxLanes; ++j) {
+    w |= std::uint64_t{InputLp::vector_bit(lane_seed(seed, j), lp, n)} << j;
+  }
+  return w;
+}
+
+void BatchInputLp::init(Context& ctx) {
+  ctx.schedule_self(0);  // vector 0 applies at time 0
+}
+
+void BatchInputLp::execute(Context& ctx, EventBatch batch) {
+  LpState& s = ctx.state();
+  bool tick = false;
+  for (const auto& ev : batch) tick |= (ev.port == kTickPort);
+  if (!tick) return;
+
+  std::uint64_t n = ctx.now() / period_;
+  if (drift_at_ != 0) {
+    // Same cold-phase freeze as the scalar InputLp: a pure function of
+    // virtual time, so all lanes freeze and thaw together.
+    const bool hot = (ctx.now() < drift_at_) == hot_first_;
+    if (!hot) n = hot_first_ ? drift_at_ / period_ : 0;
+  }
+  std::uint64_t v =
+      vector_word(seed_, ctx.self(), n, lanes_, uniform_) & lane_mask_;
+  v = (v & ~sa_mask_) | sa_value_;
+  const std::uint64_t diff = v ^ s.b;
+  if (diff != 0) {
+    s.b = v;
+    const SimTime at = ctx.now() + delay_;
+    if (at <= ctx.end_time()) {
+      for (const auto& f : fanouts_) {
+        ctx.send(f.target, at, f.port, v, diff);
+      }
+    }
+  }
+  if (observe_) s.a |= divergence_from_lane0(v, lane_mask_);
+  const SimTime next = ctx.now() + period_;
+  if (next <= ctx.end_time()) ctx.schedule_self(next);
+}
+
+// ---------------------------------------------------------------------------
 // Elaboration
 // ---------------------------------------------------------------------------
 
 SimModel build_model(const circuit::Circuit& c, const ModelOptions& opt) {
   PLS_CHECK_MSG(c.frozen(), "build_model requires a frozen circuit");
+  PLS_CHECK_MSG(opt.lanes >= 1 && opt.lanes <= kMaxLanes,
+                "lanes must be in [1," << kMaxLanes << "], got "
+                                       << opt.lanes);
+  PLS_CHECK_MSG(opt.faults.empty() || opt.lanes >= 2,
+                "fault simulation needs lanes >= 2 (lane 0 is fault-free)");
+  PLS_CHECK_MSG(opt.faults.size() + 1 <= opt.lanes,
+                "need " << opt.faults.size() + 1 << " lanes for "
+                        << opt.faults.size()
+                        << " faults plus the fault-free lane 0");
 
   // For every gate, the input port its signal occupies at each fanout:
   // port = index of the driver within the target's fanin list.  A driver
@@ -201,28 +438,68 @@ SimModel build_model(const circuit::Circuit& c, const ModelOptions& opt) {
   }
   std::size_t input_ordinal = 0;
 
+  // Stuck-at injection words: fault i forces its gate's output on lane
+  // i + 1 (lane 0 stays the fault-free reference).
+  std::vector<std::uint64_t> sa_mask(c.size(), 0), sa_value(c.size(), 0);
+  for (std::size_t i = 0; i < opt.faults.size(); ++i) {
+    const StuckAtFault& f = opt.faults[i];
+    PLS_CHECK_MSG(f.gate < c.size(),
+                  "fault " << i << " names gate " << f.gate
+                           << " outside the circuit");
+    const std::uint64_t bit = std::uint64_t{1} << (i + 1);
+    sa_mask[f.gate] |= bit;
+    if (f.stuck_value) sa_value[f.gate] |= bit;
+  }
+  const bool fault_mode = !opt.faults.empty();
+  const bool batched = opt.lanes > 1;
+
   SimModel model;
   model.options = opt;
   model.lps.reserve(c.size());
   for (circuit::GateId g = 0; g < c.size(); ++g) {
+    // Primary outputs observe lane divergence only in fault mode; plain
+    // batched runs keep the accumulator off so per-lane state extraction
+    // stays a pure projection.
+    const bool observe = fault_mode && c.is_output(g);
     switch (c.type(g)) {
       case circuit::GateType::kInput: {
         const bool hot_first = input_ordinal < (num_inputs + 1) / 2;
         ++input_ordinal;
-        model.lps.push_back(std::make_unique<InputLp>(
-            std::move(fanout_ports[g]), opt.stim_period, opt.gate_delay,
-            opt.stim_seed, opt.stim_drift_at, hot_first));
+        if (batched) {
+          model.lps.push_back(std::make_unique<BatchInputLp>(
+              std::move(fanout_ports[g]), opt.stim_period, opt.gate_delay,
+              opt.stim_seed, opt.lanes, opt.uniform_stimulus,
+              opt.stim_drift_at, hot_first, sa_mask[g], sa_value[g],
+              observe));
+        } else {
+          model.lps.push_back(std::make_unique<InputLp>(
+              std::move(fanout_ports[g]), opt.stim_period, opt.gate_delay,
+              opt.stim_seed, opt.stim_drift_at, hot_first));
+        }
         break;
       }
       case circuit::GateType::kDff:
-        model.lps.push_back(std::make_unique<DffLp>(
-            std::move(fanout_ports[g]), opt.clock_period, opt.clock_phase,
-            opt.dff_delay));
+        if (batched) {
+          model.lps.push_back(std::make_unique<BatchDffLp>(
+              std::move(fanout_ports[g]), opt.clock_period, opt.clock_phase,
+              opt.dff_delay, opt.lanes, sa_mask[g], sa_value[g], observe));
+        } else {
+          model.lps.push_back(std::make_unique<DffLp>(
+              std::move(fanout_ports[g]), opt.clock_period, opt.clock_phase,
+              opt.dff_delay));
+        }
         break;
       default:
-        model.lps.push_back(std::make_unique<GateLp>(
-            c.type(g), static_cast<std::uint32_t>(c.fanins(g).size()),
-            std::move(fanout_ports[g]), opt.gate_delay));
+        if (batched) {
+          model.lps.push_back(std::make_unique<BatchGateLp>(
+              c.type(g), static_cast<std::uint32_t>(c.fanins(g).size()),
+              std::move(fanout_ports[g]), opt.gate_delay, opt.lanes,
+              sa_mask[g], sa_value[g], observe));
+        } else {
+          model.lps.push_back(std::make_unique<GateLp>(
+              c.type(g), static_cast<std::uint32_t>(c.fanins(g).size()),
+              std::move(fanout_ports[g]), opt.gate_delay));
+        }
         break;
     }
   }

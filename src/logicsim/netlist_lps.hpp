@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "logicsim/lanes.hpp"
 #include "warped/lp.hpp"
 
 namespace pls::logicsim {
@@ -44,6 +45,23 @@ struct ModelOptions {
   /// a pure function of virtual time, so the stimulus stays
   /// history-independent (rollback- and node-count-invariant).  0 = off.
   warped::SimTime stim_drift_at = 0;
+
+  /// Batched stimulus: number of bit-parallel lanes in [1, 64].  1 keeps
+  /// the classic scalar behaviours (bit-identical to before the batched
+  /// engine existed); >= 2 elaborates the Batch* behaviours, where every
+  /// net carries one value bit per lane and lane j replays the scalar run
+  /// with seed lane_seed(stim_seed, j) — see lanes.hpp for the contract.
+  std::uint32_t lanes = 1;
+
+  /// Fault simulation (lanes >= 2 only): fault i is injected on lane
+  /// i + 1, lane 0 stays fault-free, and primary outputs accumulate the
+  /// lanes that ever diverged from lane 0 (lanes.hpp detected_faults).
+  std::vector<StuckAtFault> faults;
+
+  /// Drive every lane with the *same* stimulus stream (the base seed)
+  /// instead of per-lane seeds.  This is what fault simulation wants:
+  /// lanes then differ only through their injected faults.
+  bool uniform_stimulus = false;
 };
 
 /// One fanout connection: the driven LP and the input port (fanin index)
@@ -146,6 +164,115 @@ class InputLp final : public warped::LogicalProcess {
   std::uint64_t seed_;
   warped::SimTime drift_at_ = 0;
   bool hot_first_ = true;
+};
+
+// ---- batched (bit-parallel, up to 64-wide) behaviours ----------------------
+//
+// Lane-for-lane the same automata as GateLp/DffLp/InputLp, evaluated over
+// whole value words: state keeps one lane word per signal, events carry a
+// value word plus the change mask, and an event fires only when at least
+// one lane changed.  Unchanged lanes are never perturbed (masked
+// application), so lane j's committed trajectory is exactly the scalar
+// run's — the lane-equivalence contract lanes.hpp documents and
+// tests/batch_equivalence_property_test.cpp enforces.
+//
+// All three support stuck-at injection at their output (sa_mask / sa_value
+// lane words) and, on observing gates (primary outputs in fault mode), a
+// monotone divergence accumulator against fault-free lane 0.
+
+class BatchGateLp final : public warped::LogicalProcess {
+ public:
+  /// State layout: w[p] = lane word of fanin p, b = output lane word,
+  /// a = divergence accumulator (observing gates only, else 0).
+  BatchGateLp(circuit::GateType type, std::uint32_t arity,
+              std::vector<FanoutPort> fanouts, warped::SimTime delay,
+              std::uint32_t lanes, std::uint64_t sa_mask = 0,
+              std::uint64_t sa_value = 0, bool observe = false);
+
+  warped::LpState initial_state() const override;
+  void init(warped::Context& ctx) override;
+  void execute(warped::Context& ctx, warped::EventBatch batch) override;
+
+  /// Current output lane word of a state.
+  static std::uint64_t output_word_of(const warped::LpState& s) noexcept {
+    return s.b;
+  }
+
+ private:
+  circuit::GateType type_;
+  std::uint32_t arity_;
+  std::vector<FanoutPort> fanouts_;
+  warped::SimTime delay_;
+  std::uint64_t lane_mask_;
+  std::uint64_t sa_mask_;
+  std::uint64_t sa_value_;
+  bool observe_;
+};
+
+class BatchDffLp final : public warped::LogicalProcess {
+ public:
+  /// State layout: a = latched D lane word, b = Q lane word, w[0] =
+  /// lanes armed for the next sampling edge (per-lane clock suppression),
+  /// w[1] = divergence accumulator (observing DFFs only).
+  BatchDffLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
+             warped::SimTime phase, warped::SimTime delay,
+             std::uint32_t lanes, std::uint64_t sa_mask = 0,
+             std::uint64_t sa_value = 0, bool observe = false);
+
+  warped::LpState initial_state() const override;
+  void init(warped::Context& ctx) override;
+  void execute(warped::Context& ctx, warped::EventBatch batch) override;
+
+  /// First clock edge at or after t (edges at phase + n·period).
+  warped::SimTime next_edge_at_or_after(warped::SimTime t) const;
+
+ private:
+  std::vector<FanoutPort> fanouts_;
+  warped::SimTime period_;
+  warped::SimTime phase_;
+  warped::SimTime delay_;
+  std::uint64_t lane_mask_;
+  std::uint64_t sa_mask_;
+  std::uint64_t sa_value_;
+  bool observe_;
+};
+
+class BatchInputLp final : public warped::LogicalProcess {
+ public:
+  /// State layout: b = current stimulus lane word, a = divergence
+  /// accumulator (observing inputs only, else 0).  With
+  /// `uniform_stimulus` every lane draws from the base seed (fault-sim
+  /// mode); otherwise lane j draws from lane_seed(seed, j).
+  BatchInputLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
+               warped::SimTime delay, std::uint64_t seed,
+               std::uint32_t lanes, bool uniform_stimulus = false,
+               warped::SimTime drift_at = 0, bool hot_first = true,
+               std::uint64_t sa_mask = 0, std::uint64_t sa_value = 0,
+               bool observe = false);
+
+  warped::LpState initial_state() const override;
+  void init(warped::Context& ctx) override;
+  void execute(warped::Context& ctx, warped::EventBatch batch) override;
+
+  /// The packed stimulus word for vector index `n` — per-lane counter
+  /// hashes, identical across rollbacks and node counts.
+  static std::uint64_t vector_word(std::uint64_t seed, warped::LpId lp,
+                                   std::uint64_t n, std::uint32_t lanes,
+                                   bool uniform) noexcept;
+
+ private:
+  std::vector<FanoutPort> fanouts_;
+  warped::SimTime period_;
+  warped::SimTime delay_;
+  std::uint64_t seed_;
+  std::uint32_t lanes_;
+  std::uint64_t lane_mask_;
+  bool uniform_;
+  warped::SimTime drift_at_ = 0;
+  bool hot_first_ = true;
+  std::uint64_t sa_mask_;
+  std::uint64_t sa_value_;
+  bool observe_;
 };
 
 }  // namespace pls::logicsim

@@ -1,6 +1,7 @@
 #include "logicsim/sequential.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 
 #include "util/check.hpp"
@@ -71,7 +72,7 @@ class SeqContext final : public warped::Context {
   LpState& state() override { return (*states_)[self_]; }
 
   void send(LpId target, SimTime recv_time, std::uint32_t port,
-            std::uint64_t value) override {
+            std::uint64_t value, std::uint64_t mask) override {
     PLS_CHECK_MSG(init_mode_ ? recv_time >= now_ : recv_time > now_,
                   "sequential send not after now");
     Event ev;
@@ -81,13 +82,16 @@ class SeqContext final : public warped::Context {
     ev.sender = self_;
     ev.port = port;
     ev.value = value;
+    ev.mask = mask;
     ev.id = (*lps_)[self_].next_id++;
     (*lps_)[target].insert(ev);
     sched_->push(SchedEntry{recv_time, target});
     // Self-sends are scheduling ticks (DFF clocks, stimulus timers), not
     // net traffic — counting them would mark every clocked LP "hot"
-    // regardless of whether its output ever toggles.
-    if (target != self_) ++(*sends_)[self_];
+    // regardless of whether its output ever toggles.  Batched events weigh
+    // popcount(mask) lane transitions, matching the Time Warp kernel's
+    // committed-send accounting (scalar mask = 1 keeps the old count).
+    if (target != self_) (*sends_)[self_] += std::popcount(mask);
   }
 
  private:

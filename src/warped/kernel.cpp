@@ -175,7 +175,7 @@ class ClusterContext final : public Context {
   LpState& state() override { return rt_->state(); }
 
   void send(LpId target, SimTime recv_time, std::uint32_t port,
-            std::uint64_t value) override {
+            std::uint64_t value, std::uint64_t mask) override {
     PLS_CHECK_MSG(init_mode_ ? recv_time >= now_ : recv_time > now_,
                   "LP " << self_ << " scheduled an event at " << recv_time
                         << " not after now=" << now_);
@@ -189,6 +189,7 @@ class ClusterContext final : public Context {
     ev.sender = self_;
     ev.port = port;
     ev.value = value;
+    ev.mask = mask;
     ev.sign = Sign::kPositive;
     ev.id = rt_->alloc_event_id();
     rt_->record_output(ev);

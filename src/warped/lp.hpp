@@ -35,9 +35,11 @@ class Context {
 
   /// Send `value` to `target`'s input `port`, arriving at `recv_time`
   /// (must be strictly greater than now(): nonzero lookahead keeps the
-  /// simulation free of zero-delay cycles).
+  /// simulation free of zero-delay cycles).  `mask` flags the lanes whose
+  /// value changed (see Event): batched LPs pass the change word and must
+  /// not call send() with mask == 0; scalar LPs keep the default bit 0.
   virtual void send(LpId target, SimTime recv_time, std::uint32_t port,
-                    std::uint64_t value) = 0;
+                    std::uint64_t value, std::uint64_t mask = 1) = 0;
 
   /// Schedule a tick to self at `recv_time` (> now()).
   void schedule_self(SimTime recv_time, std::uint64_t value = 0) {

@@ -1,6 +1,7 @@
 #include "warped/lp_runtime.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hpp"
 
@@ -219,7 +220,9 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
       output_queue_.begin(), output_queue_.end(), gvt,
       [](const Event& e, SimTime time) { return e.send_time < time; });
   for (auto it = output_queue_.begin(); it != out; ++it) {
-    if (it->target != it->sender) ++sends_committed_;
+    // Transition-weighted: a batched event carries popcount(mask) lane
+    // transitions; scalar events keep mask = 1 and count as before.
+    if (it->target != it->sender) sends_committed_ += std::popcount(it->mask);
   }
   output_queue_.erase(output_queue_.begin(), out);
 
@@ -300,7 +303,7 @@ std::uint64_t LpRuntime::finalize() {
   // Nothing can be cancelled after termination: the outputs that survived
   // the last fossil pass are committed sends too (non-self, as above).
   for (const Event& ev : output_queue_) {
-    if (ev.target != ev.sender) ++sends_committed_;
+    if (ev.target != ev.sender) sends_committed_ += std::popcount(ev.mask);
   }
   output_queue_.clear();
   queue_.erase(queue_.begin(),

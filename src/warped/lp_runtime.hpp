@@ -164,9 +164,11 @@ class LpRuntime {
   std::uint64_t events_committed() const noexcept {
     return events_committed_;
   }
-  /// Non-self sends that can no longer be cancelled — the per-LP traffic
-  /// count the activity-guided partitioner feeds back (≈ transitions ×
-  /// fanout; self-sends are scheduling ticks and excluded).
+  /// Committed non-self lane transitions: each uncancellable send counts
+  /// popcount(mask) — the per-LP traffic count the activity-guided
+  /// partitioner feeds back (≈ transitions × fanout; self-sends are
+  /// scheduling ticks and excluded).  Scalar events have mask = 1, so this
+  /// is exactly the old committed-send count in single-lane runs.
   std::uint64_t sends_committed() const noexcept { return sends_committed_; }
   /// Most events undone by a single rollback — bounds how deep the
   /// optimism ran ahead of this LP's true frontier.

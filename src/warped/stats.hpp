@@ -50,8 +50,9 @@ struct LpStats {
   std::uint64_t events_rolled_back = 0;
   std::uint64_t events_committed = 0;    ///< fossil-collected useful work —
                                          ///< the warm-up *work* signal
-  std::uint64_t sends_committed = 0;     ///< uncancellable sends — the
-                                         ///< warm-up *traffic* signal
+  std::uint64_t sends_committed = 0;     ///< uncancellable lane transitions
+                                         ///< (popcount of each send's mask)
+                                         ///< — the warm-up *traffic* signal
   std::uint64_t rollbacks = 0;           ///< primary + secondary
   std::uint64_t max_rollback_depth = 0;  ///< most events undone at once
 };

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <tuple>
+#include <vector>
 
 namespace pls::warped {
 
@@ -35,13 +36,25 @@ enum class Sign : std::uint8_t { kPositive, kNegative };
 
 /// A Time Warp message.  A negative event (anti-message) is the exact twin
 /// of the positive event it cancels: same sender, same id.
+///
+/// Batched stimulus (64-wide bit-parallel evaluation): `value` carries one
+/// signal bit per lane and `mask` flags the lanes whose value actually
+/// changed — a receiver applies `value` only under `mask`, so one event
+/// serves up to 64 correlated scenarios.  Senders emit an event only when
+/// the mask is non-zero.  The kernel itself never interprets either word:
+/// an anti-message cancels the whole event (all lanes at once), state
+/// saving snapshots full words, and rollback/annihilation match on
+/// (sender, id) exactly as in the scalar model.  Scalar LPs use value bit 0
+/// and the default mask = 1, so a single-bit transition still weighs one
+/// lane-transition in the committed-send accounting.
 struct Event {
   SimTime recv_time = 0;
   SimTime send_time = 0;
   LpId target = kInvalidLp;
   LpId sender = kInvalidLp;
   std::uint32_t port = 0;     ///< receiver input port (kTickPort = tick)
-  std::uint64_t value = 0;    ///< payload (signal value for gate LPs)
+  std::uint64_t value = 0;    ///< payload word (one signal bit per lane)
+  std::uint64_t mask = 1;     ///< lanes whose value changed (scalar: bit 0)
   Sign sign = Sign::kPositive;
   std::uint64_t id = 0;       ///< unique per sender; survives rollbacks
 
@@ -57,13 +70,19 @@ struct Event {
   }
 };
 
-/// Fixed-size LP state word pair.  Gate LPs pack input bits into `a` and
-/// the output value into `b`; keeping state POD makes copy state saving a
-/// 16-byte memcpy, which is what lets the kernel snapshot after every event
-/// batch (the classic Time Warp copy-state discipline) at negligible cost.
+/// LP state: two fixed words plus an optional wide extension.  Scalar gate
+/// LPs pack input bits into `a` and the output value into `b` and leave `w`
+/// empty, so copy state saving stays a 16-byte copy (plus an empty-vector
+/// copy that never allocates) — the classic Time Warp copy-state discipline
+/// at negligible cost.  Batched (64-wide) gate LPs need one full value word
+/// per fanin, which cannot fit the packed-bit scheme; they keep those lane
+/// words in `w` (w[port] = packed lane values of that fanin) and the output
+/// lane word in `b`.  Snapshots and migration packages copy the whole
+/// struct either way, so rollback restores full words per lane.
 struct LpState {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  std::vector<std::uint64_t> w;  ///< wide per-port lane words (batched LPs)
 
   friend bool operator==(const LpState&, const LpState&) noexcept = default;
 };

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 #include <vector>
 
@@ -104,6 +105,7 @@ class MockContext final : public warped::Context {
     SimTime recv_time;
     std::uint32_t port;
     std::uint64_t value;
+    std::uint64_t mask;
   };
 
   SimTime now_v = 0;
@@ -117,8 +119,8 @@ class MockContext final : public warped::Context {
   LpId self() const override { return self_v; }
   LpState& state() override { return state_v; }
   void send(LpId target, SimTime recv_time, std::uint32_t port,
-            std::uint64_t value) override {
-    sent.push_back({target, recv_time, port, value});
+            std::uint64_t value, std::uint64_t mask) override {
+    sent.push_back({target, recv_time, port, value, mask});
   }
 };
 
@@ -288,6 +290,198 @@ TEST(InputLp, AppliesVectorAndReschedules) {
   EXPECT_EQ(ctx.sent.back().recv_time, 60u);
 }
 
+// ---- batched (bit-parallel) engine -----------------------------------------
+
+Event masked_event(std::uint32_t port, std::uint64_t value,
+                   std::uint64_t mask, SimTime t) {
+  Event e = port_event(port, value, t);
+  e.mask = mask;
+  return e;
+}
+
+TEST(Lanes, SeedAndMaskContract) {
+  EXPECT_EQ(lane_seed(7, 0), 7u);  // lane 0 replays the base-seed run
+  for (unsigned j = 1; j < kMaxLanes; ++j) {
+    EXPECT_NE(lane_seed(7, j), lane_seed(7, j - 1));
+  }
+  EXPECT_EQ(lane_mask(1), 1u);
+  EXPECT_EQ(lane_mask(3), 0b111u);
+  EXPECT_EQ(lane_mask(64), ~std::uint64_t{0});
+}
+
+TEST(EvalGateWord, MatchesScalarEvalLaneByLane) {
+  // The word evaluator is 64 scalar evaluators in parallel: for every gate
+  // type and arity, lane j of the word result equals eval_gate applied to
+  // lane j's packed input bits.
+  const GateType types[] = {GateType::kBuf,  GateType::kNot,
+                            GateType::kAnd,  GateType::kNand,
+                            GateType::kOr,   GateType::kNor,
+                            GateType::kXor,  GateType::kXnor};
+  std::uint64_t x = 0x243f6a8885a308d3ULL;  // deterministic input stream
+  auto next = [&x] {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    return x;
+  };
+  for (GateType type : types) {
+    const unsigned max_arity =
+        (type == GateType::kBuf || type == GateType::kNot) ? 1 : 4;
+    for (unsigned arity = 1; arity <= max_arity; ++arity) {
+      std::uint64_t inputs[4] = {};
+      for (unsigned p = 0; p < arity; ++p) inputs[p] = next();
+      const std::uint64_t word = eval_gate_word(type, inputs, arity);
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        std::uint64_t packed = 0;
+        for (unsigned p = 0; p < arity; ++p) {
+          packed |= ((inputs[p] >> lane) & 1) << p;
+        }
+        EXPECT_EQ((word >> lane) & 1,
+                  std::uint64_t{eval_gate(type, packed, arity)})
+            << "type " << static_cast<int>(type) << " arity " << arity
+            << " lane " << lane;
+      }
+    }
+  }
+}
+
+TEST(BatchGateLp, MaskedApplicationAndDiffGatedEmission) {
+  BatchGateLp g(GateType::kAnd, 2, {{7, 0}}, /*delay=*/2, /*lanes=*/64);
+  MockContext ctx;
+  ctx.state_v = g.initial_state();
+  ASSERT_EQ(ctx.state_v.w.size(), 2u);
+
+  // Port 0 rises on lanes 0-3 only; AND output stays all-zero: no send.
+  ctx.now_v = 5;
+  std::vector<Event> batch{masked_event(0, ~std::uint64_t{0}, 0xF, 5)};
+  g.execute(ctx, batch);
+  EXPECT_EQ(ctx.state_v.w[0], 0xFu);  // masked application, not the word
+  EXPECT_TRUE(ctx.sent.empty());
+
+  // Port 1 rises on lanes 0-7: output rises exactly where both are 1,
+  // and the change mask is the lanes that actually flipped.
+  ctx.now_v = 6;
+  batch = {masked_event(1, ~std::uint64_t{0}, 0xFF, 6)};
+  g.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].value, 0xFu);
+  EXPECT_EQ(ctx.sent[0].mask, 0xFu);
+  EXPECT_EQ(ctx.sent[0].recv_time, 8u);
+
+  // Lane 0 alone drops: only lane 0 appears in the next change mask.
+  ctx.now_v = 9;
+  batch = {masked_event(0, 0, 0b1, 9)};
+  g.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 2u);
+  EXPECT_EQ(ctx.sent[1].value, 0xEu);
+  EXPECT_EQ(ctx.sent[1].mask, 0b1u);
+}
+
+TEST(BatchGateLp, StuckAtForcesOnlyItsLane) {
+  // BUF with lane 1 stuck at 1: power-on announces the forced lane, and
+  // later input changes ripple through lane 0 while lane 1 never moves.
+  BatchGateLp g(GateType::kBuf, 1, {{3, 0}}, 1, /*lanes=*/2,
+                /*sa_mask=*/0b10, /*sa_value=*/0b10);
+  MockContext ctx;
+  ctx.state_v = g.initial_state();
+  ctx.now_v = 0;
+  std::vector<Event> batch{tick_event(0)};
+  g.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].value, 0b10u);
+  EXPECT_EQ(ctx.sent[0].mask, 0b10u);
+
+  ctx.now_v = 5;
+  batch = {masked_event(0, 0b11, 0b11, 5)};
+  g.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 2u);
+  EXPECT_EQ(ctx.sent[1].value, 0b11u);
+  EXPECT_EQ(ctx.sent[1].mask, 0b01u);  // lane 1 was already forced to 1
+}
+
+TEST(BatchDffLp, TickSamplesOnlyArmedLanes) {
+  BatchDffLp ff({{5, 0}}, /*period=*/10, /*phase=*/10, /*delay=*/1,
+                /*lanes=*/64);
+  MockContext ctx;
+  ctx.state_v = ff.initial_state();
+  ASSERT_EQ(ctx.state_v.w.size(), 1u);
+
+  // Lane 1's D rises at t=15: lane 1 is armed and a tick pends at t=20.
+  ctx.now_v = 15;
+  std::vector<Event> batch{masked_event(0, 0b10, 0b10, 15)};
+  ff.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].port, kTickPort);
+  EXPECT_EQ(ctx.sent[0].recv_time, 20u);
+  EXPECT_EQ(ctx.state_v.w[0], 0b10u);
+  ctx.sent.clear();
+
+  // At the t=20 edge lane 2's D changes in the same batch.  Lane 1 armed
+  // this edge and samples; lane 2 did not — its scalar twin would capture
+  // one period later, so it re-arms t=30 instead of sampling now.
+  ctx.now_v = 20;
+  batch = {tick_event(20), masked_event(0, 0b100, 0b100, 20)};
+  ff.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 2u);
+  EXPECT_EQ(ctx.sent[0].port, kTickPort);  // re-armed for lane 2
+  EXPECT_EQ(ctx.sent[0].recv_time, 30u);
+  EXPECT_EQ(ctx.sent[1].target, 5u);
+  EXPECT_EQ(ctx.sent[1].value, 0b10u);  // Q: only lane 1 captured
+  EXPECT_EQ(ctx.sent[1].mask, 0b10u);
+  EXPECT_EQ(ctx.state_v.w[0], 0b100u);
+  ctx.sent.clear();
+
+  // t=30: lane 2 finally samples; no lane re-arms.
+  ctx.now_v = 30;
+  batch = {tick_event(30)};
+  ff.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].value, 0b110u);
+  EXPECT_EQ(ctx.sent[0].mask, 0b100u);
+  EXPECT_EQ(ctx.state_v.w[0], 0u);
+}
+
+TEST(BatchDffLp, PhaseEdgeSamplesEveryLane) {
+  // The init edge is the one tick every scalar run owns: all lanes sample.
+  BatchDffLp ff({{5, 0}}, 10, 10, 1, /*lanes=*/64);
+  MockContext ctx;
+  ctx.state_v = ff.initial_state();
+  ctx.now_v = 10;
+  std::vector<Event> batch{tick_event(10),
+                           masked_event(0, 0b101, 0b101, 10)};
+  ff.execute(ctx, batch);
+  ASSERT_EQ(ctx.sent.size(), 1u);  // no re-arm: everyone sampled
+  EXPECT_EQ(ctx.sent[0].value, 0b101u);
+  EXPECT_EQ(ctx.sent[0].mask, 0b101u);
+}
+
+TEST(BatchInputLp, VectorWordPacksPerLaneSeeds) {
+  for (std::uint64_t n = 0; n < 8; ++n) {
+    const std::uint64_t w =
+        BatchInputLp::vector_word(/*seed=*/7, /*lp=*/3, n, /*lanes=*/8,
+                                  /*uniform=*/false);
+    EXPECT_LT(w, 1u << 8);  // lanes above the count stay clear
+    for (unsigned j = 0; j < 8; ++j) {
+      EXPECT_EQ((w >> j) & 1,
+                std::uint64_t{InputLp::vector_bit(lane_seed(7, j), 3, n)})
+          << "vector " << n << " lane " << j;
+    }
+    // Uniform mode broadcasts the base-seed bit to every lane.
+    const std::uint64_t u =
+        BatchInputLp::vector_word(7, 3, n, 8, /*uniform=*/true);
+    EXPECT_EQ(u, InputLp::vector_bit(7, 3, n) ? ~std::uint64_t{0}
+                                              : std::uint64_t{0});
+  }
+}
+
+TEST(Lanes, SampleFaultsPicksDistinctSites) {
+  const auto c = circuit::make_iscas_like("s5378", 3);
+  const auto faults = sample_faults(c, 63, /*seed=*/11);
+  ASSERT_EQ(faults.size(), 63u);
+  std::vector<circuit::GateId> gates;
+  for (const auto& f : faults) gates.push_back(f.gate);
+  std::sort(gates.begin(), gates.end());
+  EXPECT_EQ(std::adjacent_find(gates.begin(), gates.end()), gates.end());
+}
+
 // ---- elaboration -----------------------------------------------------------
 
 TEST(BuildModel, OneLpPerGateWithCorrectKinds) {
@@ -343,6 +537,48 @@ TEST(BuildModel, RequiresFrozenCircuit) {
   circuit::Circuit c;
   c.add_input("a");
   EXPECT_THROW(build_model(c), pls::util::CheckError);
+}
+
+TEST(BuildModel, LanesElaborateBatchedBehaviours) {
+  const auto c = circuit::make_iscas_like("s5378", 3);
+  ModelOptions opt;
+  opt.lanes = 4;
+  const SimModel model = build_model(c, opt);
+  for (circuit::GateId g = 0; g < c.size(); ++g) {
+    auto* lp = model.lps[g].get();
+    switch (c.type(g)) {
+      case GateType::kInput:
+        EXPECT_NE(dynamic_cast<BatchInputLp*>(lp), nullptr);
+        break;
+      case GateType::kDff:
+        EXPECT_NE(dynamic_cast<BatchDffLp*>(lp), nullptr);
+        break;
+      default:
+        EXPECT_NE(dynamic_cast<BatchGateLp*>(lp), nullptr);
+    }
+  }
+}
+
+TEST(BuildModel, ValidatesLaneAndFaultConfiguration) {
+  const auto c = circuit::make_iscas_like("s5378", 3);
+  ModelOptions opt;
+  opt.lanes = 65;
+  EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
+  opt.lanes = 0;
+  EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
+
+  // Faults need lanes >= faults + 1 (lane 0 is the fault-free reference).
+  opt.lanes = 1;
+  opt.faults = {StuckAtFault{0, true}};
+  EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
+  opt.lanes = 2;
+  opt.faults = {StuckAtFault{0, true}, StuckAtFault{1, false}};
+  EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
+  opt.lanes = 3;
+  EXPECT_NO_THROW(build_model(c, opt));
+  // A fault site outside the circuit is rejected.
+  opt.faults = {StuckAtFault{static_cast<circuit::GateId>(c.size()), true}};
+  EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <memory>
 #include <vector>
 
@@ -90,6 +91,102 @@ Star make_star(LpId spokes, SimTime period) {
   return s;
 }
 
+// ---- masked-word (lanes > 1) variants --------------------------------------
+//
+// The same star, speaking the batched-stimulus event dialect: full 64-bit
+// value words with per-lane change masks, masked application at the
+// receiver and wide (LpState::w) state words.  Any rollback that cancels a
+// masked event must cancel *all* its lanes and re-execution must rebuild
+// the same words — node-count invariance of the fold checksums proves it.
+
+class MaskedHubLp final : public LogicalProcess {
+ public:
+  MaskedHubLp(LpId first_spoke, LpId num_spokes, SimTime period)
+      : first_(first_spoke), n_(num_spokes), period_(period) {}
+
+  LpState initial_state() const override {
+    LpState s;
+    s.w.assign(1, 0);  // lane-word fold of the echoed (value & mask) bits
+    return s;
+  }
+
+  void init(Context& ctx) override {
+    if (period_ <= ctx.end_time()) ctx.schedule_self(period_);
+  }
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    bool tick = false;
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) {
+        tick = true;
+        continue;
+      }
+      s.b = s.b * 31 + (e.value ^ e.mask);  // checksum folds the mask too
+      s.w[0] ^= e.value & e.mask;
+    }
+    if (!tick) return;
+    s.a += 1;
+    if (ctx.now() + 1 <= ctx.end_time()) {
+      const std::uint64_t v = s.a * 0x9e3779b97f4a7c15ULL;
+      for (LpId i = 0; i < n_; ++i) {
+        // Rotating non-zero per-spoke change mask: every round touches a
+        // different lane subset on every spoke.
+        const std::uint64_t m = std::rotl(v | 1, static_cast<int>(i));
+        ctx.send(first_ + i, ctx.now() + 1, 0, v + i, m);
+      }
+    }
+    if (ctx.now() + period_ <= ctx.end_time()) {
+      ctx.schedule_self(ctx.now() + period_);
+    }
+  }
+
+ private:
+  LpId first_;
+  LpId n_;
+  SimTime period_;
+};
+
+class MaskedSpokeLp final : public LogicalProcess {
+ public:
+  explicit MaskedSpokeLp(LpId hub) : hub_(hub) {}
+
+  LpState initial_state() const override {
+    LpState s;
+    s.w.assign(1, 0);  // XOR history of received masks
+    return s;
+  }
+
+  void init(Context&) override {}
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) continue;
+      // Masked application: only the flagged lanes may change.
+      s.a = (s.a & ~e.mask) | (e.value & e.mask);
+      s.w[0] ^= e.mask;
+      if (ctx.now() + 1 <= ctx.end_time()) {
+        ctx.send(hub_, ctx.now() + 1, 0, s.a ^ (s.a >> 3),
+                 std::rotl(e.mask, 1) | 1);
+      }
+    }
+  }
+
+ private:
+  LpId hub_;
+};
+
+Star make_masked_star(LpId spokes, SimTime period) {
+  Star s;
+  s.owners.push_back(std::make_unique<MaskedHubLp>(1, spokes, period));
+  for (LpId i = 0; i < spokes; ++i) {
+    s.owners.push_back(std::make_unique<MaskedSpokeLp>(0));
+  }
+  for (auto& o : s.owners) s.lps.push_back(o.get());
+  return s;
+}
+
 struct MatrixParam {
   std::uint32_t nodes;
   std::uint64_t latency_ns;
@@ -158,6 +255,76 @@ INSTANTIATE_TEST_SUITE_P(
         // both copy-state and periodic state saving.
         MatrixParam{4, 20000, 1, 0, ThrottleMode::kAdaptive},
         MatrixParam{8, 10000, 3, 0, ThrottleMode::kAdaptive}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.nodes) + "_lat" +
+             std::to_string(info.param.latency_ns / 1000) + "us_sp" +
+             std::to_string(info.param.state_period) + "_w" +
+             std::to_string(info.param.window) + "_" +
+             to_string(info.param.mode);
+    });
+
+// Masked (lanes > 1) events through the same rollback gauntlet: whole-word
+// cancellation via anti-messages, coast-forward replay of wide states and
+// migration-free node-count invariance of both the value checksum (s.b)
+// and the mask history (w[0]).
+class MaskedKernelMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(MaskedKernelMatrix, MaskedStarResultsAreNodeCountInvariant) {
+  const MatrixParam prm = GetParam();
+  constexpr LpId kSpokes = 14;
+  constexpr SimTime kEnd = 400;
+
+  Star ref_star = make_masked_star(kSpokes, 7);
+  KernelConfig ref_cfg;
+  ref_cfg.end_time = kEnd;
+  Kernel ref_kernel(ref_star.lps, std::vector<std::uint32_t>(kSpokes + 1, 0),
+                    ref_cfg);
+  const RunStats ref = ref_kernel.run();
+
+  // The masked traffic is real: the hub folded lane words and every spoke
+  // saw a non-trivial mask history.
+  EXPECT_NE(ref.final_states[0].b, 0u);
+  for (LpId i = 1; i <= kSpokes; ++i) {
+    EXPECT_NE(ref.final_states[i].w.at(0), 0u) << "spoke " << i;
+  }
+
+  Star star = make_masked_star(kSpokes, 7);
+  KernelConfig cfg;
+  cfg.end_time = kEnd;
+  cfg.num_nodes = prm.nodes;
+  cfg.network.latency_ns = prm.latency_ns;
+  cfg.network.send_overhead_ns = prm.latency_ns / 20;
+  cfg.state_period = prm.state_period;
+  cfg.throttle.mode = prm.mode;
+  cfg.optimism_window = prm.window;
+  cfg.gvt_interval_us = 500;
+  std::vector<std::uint32_t> node_of(kSpokes + 1);
+  for (LpId i = 0; i <= kSpokes; ++i) node_of[i] = i % prm.nodes;
+  Kernel kernel(star.lps, node_of, cfg);
+  const RunStats out = kernel.run();
+
+  ASSERT_EQ(out.final_states.size(), ref.final_states.size());
+  for (std::size_t i = 0; i < ref.final_states.size(); ++i) {
+    EXPECT_EQ(out.final_states[i], ref.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(out.totals.events_committed, ref.totals.events_committed);
+  EXPECT_EQ(out.totals.events_processed,
+            out.totals.events_committed + out.totals.events_rolled_back);
+  EXPECT_EQ(out.final_gvt, kEndOfTime);
+  EXPECT_FALSE(out.out_of_memory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, MaskedKernelMatrix,
+    ::testing::Values(
+        // Rollback storms: zero window, unlimited optimism, rising latency.
+        MatrixParam{2, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 40000, 4, 0, ThrottleMode::kUnlimited},
+        MatrixParam{8, 10000, 3, 0, ThrottleMode::kUnlimited},
+        // Throttled modes must commit the same masked words too.
+        MatrixParam{4, 5000, 8, 15, ThrottleMode::kFixed},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kAdaptive}),
     [](const auto& info) {
       return "n" + std::to_string(info.param.nodes) + "_lat" +
              std::to_string(info.param.latency_ns / 1000) + "us_sp" +

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <memory>
 #include <vector>
 
@@ -158,6 +159,148 @@ TEST(WarpedMigration, RotatingMigrationPreservesCommittedResults) {
     for (const auto& lp : out.per_lp) per_lp_committed += lp.events_committed;
     EXPECT_EQ(per_lp_committed, out.totals.events_committed) << "rep " << rep;
   }
+}
+
+// Masked-word (lanes > 1) star: events carry 64-bit value words plus
+// per-lane change masks, and the wide LpState::w words must travel inside
+// migration packages intact.  Mirrors the batched-stimulus event dialect
+// of src/logicsim (masked application, mask-folding checksums).
+class MaskedHubLp final : public LogicalProcess {
+ public:
+  MaskedHubLp(LpId first_spoke, LpId num_spokes, SimTime period)
+      : first_(first_spoke), n_(num_spokes), period_(period) {}
+
+  LpState initial_state() const override {
+    LpState s;
+    s.w.assign(1, 0);
+    return s;
+  }
+
+  void init(Context& ctx) override {
+    if (period_ <= ctx.end_time()) ctx.schedule_self(period_);
+  }
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    bool tick = false;
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) {
+        tick = true;
+        continue;
+      }
+      s.b = s.b * 31 + (e.value ^ e.mask);
+      s.w[0] ^= e.value & e.mask;
+    }
+    if (!tick) return;
+    s.a += 1;
+    if (ctx.now() + 1 <= ctx.end_time()) {
+      const std::uint64_t v = s.a * 0x9e3779b97f4a7c15ULL;
+      for (LpId i = 0; i < n_; ++i) {
+        ctx.send(first_ + i, ctx.now() + 1, 0, v + i,
+                 std::rotl(v | 1, static_cast<int>(i)));
+      }
+    }
+    if (ctx.now() + period_ <= ctx.end_time()) {
+      ctx.schedule_self(ctx.now() + period_);
+    }
+  }
+
+ private:
+  LpId first_;
+  LpId n_;
+  SimTime period_;
+};
+
+class MaskedSpokeLp final : public LogicalProcess {
+ public:
+  explicit MaskedSpokeLp(LpId hub) : hub_(hub) {}
+
+  LpState initial_state() const override {
+    LpState s;
+    s.w.assign(1, 0);
+    return s;
+  }
+
+  void init(Context&) override {}
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) continue;
+      s.a = (s.a & ~e.mask) | (e.value & e.mask);
+      s.w[0] ^= e.mask;
+      if (ctx.now() + 1 <= ctx.end_time()) {
+        ctx.send(hub_, ctx.now() + 1, 0, s.a ^ (s.a >> 3),
+                 std::rotl(e.mask, 1) | 1);
+      }
+    }
+  }
+
+ private:
+  LpId hub_;
+};
+
+Star make_masked_star(LpId spokes, SimTime period) {
+  Star s;
+  s.owners.push_back(std::make_unique<MaskedHubLp>(1, spokes, period));
+  for (LpId i = 0; i < spokes; ++i) {
+    s.owners.push_back(std::make_unique<MaskedSpokeLp>(0));
+  }
+  for (auto& o : s.owners) s.lps.push_back(o.get());
+  return s;
+}
+
+TEST(WarpedMigration, RotatingMigrationPreservesMaskedWordResults) {
+  constexpr LpId kSpokes = 14;
+  constexpr SimTime kEnd = 400;
+
+  auto run_masked = [&](bool migrate) {
+    Star star = make_masked_star(kSpokes, 7);
+    KernelConfig cfg;
+    cfg.end_time = kEnd;
+    cfg.num_nodes = 4;
+    cfg.network.latency_ns = 15000;
+    cfg.network.send_overhead_ns = 500;
+    cfg.gvt_interval_us = 500;
+    if (migrate) {
+      cfg.repartition_interval = 2;
+      cfg.repartition_hook =
+          [](const RepartitionRequest& req) -> std::vector<std::uint32_t> {
+        std::vector<std::uint32_t> next(req.current.size());
+        for (std::size_t i = 0; i < next.size(); ++i) {
+          next[i] = (req.current[i] + 1) % 4;
+        }
+        return next;
+      };
+    }
+    std::vector<std::uint32_t> node_of(kSpokes + 1);
+    for (LpId i = 0; i <= kSpokes; ++i) node_of[i] = i % 4;
+    Kernel kernel(star.lps, node_of, cfg);
+    return kernel.run();
+  };
+
+  const RunStats ref = run_masked(/*migrate=*/false);
+  ASSERT_EQ(ref.final_gvt, kEndOfTime);
+  // The wide words carry real traffic worth migrating.
+  EXPECT_NE(ref.final_states[0].b, 0u);
+  EXPECT_NE(ref.final_states[1].w.at(0), 0u);
+
+  const RunStats out = run_masked(/*migrate=*/true);
+  EXPECT_GT(out.repartitions, 0u);
+  EXPECT_GT(out.totals.lps_migrated_out, 0u);
+  EXPECT_EQ(out.totals.lps_migrated_out, out.totals.lps_migrated_in);
+
+  // Bit-identical committed state — including every LpState::w lane word
+  // shipped inside a migration package (operator== covers w).
+  ASSERT_EQ(out.final_states.size(), ref.final_states.size());
+  for (std::size_t i = 0; i < ref.final_states.size(); ++i) {
+    EXPECT_EQ(out.final_states[i], ref.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(out.totals.events_committed, ref.totals.events_committed);
+  EXPECT_EQ(out.totals.events_processed,
+            out.totals.events_committed + out.totals.events_rolled_back);
+  EXPECT_EQ(out.final_gvt, kEndOfTime);
+  EXPECT_FALSE(out.out_of_memory);
 }
 
 TEST(WarpedMigration, TwoNodeMigrationMatchesSingleNodeReference) {

@@ -47,7 +47,7 @@ def main(argv):
     # / repartition modes present in the rows are summarized into config,
     # so a snapshot says whether (and how) it was activity-guided or
     # dynamically repartitioned without scanning rows.
-    for dim in ("throttle", "activity", "repartition"):
+    for dim in ("throttle", "activity", "repartition", "lanes"):
         key = f"{dim}_modes"
         seen = sorted({row[dim] for row in rows if dim in row})
         if seen and key not in config:
