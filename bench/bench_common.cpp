@@ -5,6 +5,7 @@
 
 #include "circuit/generator.hpp"
 #include "framework/registry.hpp"
+#include "logicsim/lanes.hpp"
 #include "obs/export.hpp"
 #include "util/check.hpp"
 
@@ -125,7 +126,8 @@ BenchConfig config_from_cli(const util::Cli& cli) {
   // Capped well below the kernel's 30 s deadlock watchdog: a GVT interval
   // longer than the watchdog window guarantees a false stall abort.
   cfg.gvt_interval_us = get_flag_u64(cli, "gvt-us", 1, 10'000'000);
-  cfg.lanes = static_cast<std::uint32_t>(get_flag_u64(cli, "lanes", 1, 64));
+  cfg.lanes = static_cast<std::uint32_t>(
+      get_flag_u64(cli, "lanes", 1, logicsim::kMaxLanes));
   cfg.stim_period = get_flag_u64(cli, "stim-period", 1, 1u << 30);
   cfg.clock_period = get_flag_u64(cli, "clock-period", 1, 1u << 30);
   cfg.trace_path = cli.get("trace");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "circuit/generator.hpp"
 #include "graph/weighted_graph.hpp"
 #include "logicsim/gate_eval.hpp"
@@ -15,6 +17,7 @@
 #include "partition/refine.hpp"
 #include "util/rng.hpp"
 #include "warped/comm.hpp"
+#include "warped/kernel.hpp"
 #include "warped/lp_runtime.hpp"
 
 namespace {
@@ -66,12 +69,12 @@ BENCHMARK(BM_EventInsertOrdered);
 void BM_BatchCommitWithSnapshot(benchmark::State& state) {
   NullLp lp;
   warped::LpRuntime rt(0, &lp);
-  std::vector<warped::Event> batch;
   warped::SimTime t = 1;
   std::uint64_t id = 1;
   for (auto _ : state) {
     rt.insert(make_event(t, id++));
-    rt.begin_batch(batch);
+    warped::SimTime bt = 0;
+    const warped::EventBatch batch = rt.begin_batch(bt);
     rt.commit_batch(t, batch.size());
     ++t;
     if (t % 4096 == 0) {
@@ -90,15 +93,16 @@ void BM_RollbackDepth(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     warped::LpRuntime rt(0, &lp);
-    std::vector<warped::Event> batch;
     for (std::uint64_t i = 1; i <= depth; ++i) {
       rt.insert(make_event(i * 2, id++));
     }
     for (std::uint64_t i = 0; i < depth; ++i) {
-      rt.begin_batch(batch);
-      rt.commit_batch(batch.front().recv_time, batch.size());
-      warped::Event out = make_event(batch.front().recv_time + 1, id++);
-      out.send_time = batch.front().recv_time;
+      warped::SimTime bt = 0;
+      const warped::EventBatch batch = rt.begin_batch(bt);
+      const warped::SimTime out_send = batch.front().recv_time;
+      rt.commit_batch(out_send, batch.size());
+      warped::Event out = make_event(out_send + 1, id++);
+      out.send_time = out_send;
       out.sender = 0;
       out.target = 9;
       rt.record_output(out);
@@ -128,6 +132,57 @@ void BM_MailboxTransfer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MailboxTransfer);
+
+/// A ring of LPs each forwarding one event to its successor: the smallest
+/// model whose steady state exercises the whole scalar event path (insert,
+/// LTSF schedule, execute, commit + snapshot, fossil collection, GVT) with
+/// negligible behaviour cost.  items_processed counts committed events, so
+/// the reported rate IS the scalar event throughput the memory-layer
+/// acceptance criterion tracks (BENCH_kernel_micro.json).
+class RingLp final : public warped::LogicalProcess {
+ public:
+  RingLp(warped::LpId next, warped::SimTime stride)
+      : next_(next), stride_(stride) {}
+  void init(warped::Context& ctx) override {
+    ctx.send(next_, stride_, 0, 1);
+  }
+  void execute(warped::Context& ctx, warped::EventBatch batch) override {
+    warped::LpState& s = ctx.state();
+    for (const auto& ev : batch) s.a += ev.value;
+    const warped::SimTime at = ctx.now() + stride_;
+    if (at <= ctx.end_time()) ctx.send(next_, at, 0, 1);
+  }
+
+ private:
+  warped::LpId next_;
+  warped::SimTime stride_;
+};
+
+void BM_KernelScalarEventThroughput(benchmark::State& state) {
+  constexpr std::uint32_t kLps = 16;
+  constexpr warped::SimTime kEnd = 50000;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<RingLp>> ring;
+    std::vector<warped::LogicalProcess*> lps;
+    std::vector<std::uint32_t> node_of(kLps, 0);
+    for (std::uint32_t i = 0; i < kLps; ++i) {
+      ring.push_back(std::make_unique<RingLp>((i + 1) % kLps, 1));
+      lps.push_back(ring.back().get());
+    }
+    warped::KernelConfig kc;
+    kc.num_nodes = 1;
+    kc.end_time = kEnd;
+    kc.gvt_interval_us = 200;
+    kc.throttle.mode = warped::ThrottleMode::kUnlimited;
+    warped::Kernel kernel(std::move(lps), std::move(node_of), kc);
+    const warped::RunStats rs = kernel.run();
+    events += rs.totals.events_committed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("committed events/s = scalar event throughput");
+}
+BENCHMARK(BM_KernelScalarEventThroughput)->Unit(benchmark::kMillisecond);
 
 void BM_CoarsenS9234(benchmark::State& state) {
   const circuit::Circuit c = circuit::make_iscas_like("s9234", 7);

@@ -6,6 +6,9 @@
 // diverges — and the primary outputs accumulate which lanes ever differed
 // from lane 0, which is exactly the detected-fault set.
 //
+// Counts above 63 widen the run past one value word (multi-word lanes,
+// logicsim/lanes.hpp): 255 faults + the reference lane fill four words.
+//
 //   ./examples/fault_simulation [--circuit s5378] [--faults 63]
 //                               [--nodes 4] [--end 1200] [--scale 0.5]
 
@@ -23,7 +26,7 @@ int main(int argc, char** argv) {
 
   util::Cli cli("fault_simulation: 63 stuck-at faults per batched run");
   cli.add_flag("circuit", "s5378 | s9234 | s15850", "s5378");
-  cli.add_flag("faults", "stuck-at faults per run (1-63)", "63");
+  cli.add_flag("faults", "stuck-at faults per run (1-255)", "63");
   cli.add_flag("nodes", "number of nodes", "4");
   cli.add_flag("end", "virtual-time horizon", "1200");
   cli.add_flag("scale", "circuit size multiplier", "0.5");
@@ -31,8 +34,8 @@ int main(int argc, char** argv) {
   cli.add_flag("fault-seed", "fault-site sampling seed", "9");
   if (!cli.parse(argc, argv)) return 1;
   const std::int64_t faults_raw = cli.get_int("faults");
-  if (faults_raw < 1 || faults_raw > 63) {
-    std::fprintf(stderr, "--faults must be in [1,63], got %lld\n",
+  if (faults_raw < 1 || faults_raw > 255) {
+    std::fprintf(stderr, "--faults must be in [1,255], got %lld\n",
                  static_cast<long long>(faults_raw));
     return 1;
   }
@@ -80,8 +83,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto detected =
-      logicsim::detected_faults(c, cfg.model.faults, par.run.final_states);
+  const auto detected = logicsim::detected_faults(
+      c, cfg.model.faults, par.run.final_states, cfg.lanes);
   util::AsciiTable table({"Fault", "Gate", "Stuck at", "Detected"});
   std::size_t covered = 0;
   for (std::size_t i = 0; i < cfg.model.faults.size(); ++i) {

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   util::Cli cli("monte_carlo_sweep: N stimulus scenarios per run, verified");
   cli.add_flag("circuit", "s5378 | s9234 | s15850", "s9234");
-  cli.add_flag("lanes", "bit-parallel scenarios per run (1-64)", "64");
+  cli.add_flag("lanes", "bit-parallel scenarios per run (1-256)", "64");
   cli.add_flag("nodes", "number of nodes", "4");
   cli.add_flag("end", "virtual-time horizon", "1200");
   cli.add_flag("scale", "circuit size multiplier", "0.5");
@@ -32,9 +32,9 @@ int main(int argc, char** argv) {
                "2000");
   if (!cli.parse(argc, argv)) return 1;
   const std::int64_t lanes_raw = cli.get_int("lanes");
-  if (lanes_raw < 1 || lanes_raw > 64) {
-    std::fprintf(stderr, "--lanes must be in [1,64], got %lld\n",
-                 static_cast<long long>(lanes_raw));
+  if (lanes_raw < 1 || lanes_raw > logicsim::kMaxLanes) {
+    std::fprintf(stderr, "--lanes must be in [1,%u], got %lld\n",
+                 logicsim::kMaxLanes, static_cast<long long>(lanes_raw));
     return 1;
   }
   const auto lanes = static_cast<std::uint32_t>(lanes_raw);
@@ -90,8 +90,8 @@ int main(int argc, char** argv) {
     scalar_seconds += ref.wall_seconds;
     scalar_transitions_sampled += std::accumulate(
         ref.per_lp_sends.begin(), ref.per_lp_sends.end(), std::uint64_t{0});
-    const auto rep = logicsim::check_lane_equivalence(c, par.run.final_states,
-                                                      lane, ref.final_states);
+    const auto rep = logicsim::check_lane_equivalence(
+        c, par.run.final_states, lane, lanes, ref.final_states);
     if (!rep.ok()) {
       std::fprintf(stderr, "lane %u diverged from its scalar run: %s\n",
                    lane, rep.describe().c_str());

@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
                "4 GVT rounds with live LP migration; multilevel strategies "
                "only)",
                "off");
+  cli.add_flag("partition-cache",
+               "directory for the on-disk partition cache (empty = off); "
+               "repeat runs with identical circuit/strategy/seed replay "
+               "the cached assignment",
+               "");
   cli.add_flag("trace",
                "write a Perfetto trace of the Multilevel row here (plus "
                "metrics CSV at <path>.metrics.csv; empty = off)",
@@ -79,6 +84,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   cfg.optimism_window = static_cast<warped::SimTime>(window);
+  cfg.partition_cache_dir = cli.get("partition-cache");
   const std::string repartition = cli.get("repartition");
   if (repartition != "off" && repartition != "gvt") {
     std::fprintf(stderr, "unknown --repartition mode '%s' (want off|gvt)\n",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "framework/partition_cache.hpp"
 #include "framework/registry.hpp"
 #include "logicsim/activity.hpp"
 #include "multilevel/metrics.hpp"
@@ -28,7 +29,11 @@ logicsim::ActivityProfile warmup_activity(const circuit::Circuit& c,
   std::vector<std::uint64_t> events(wres.run.per_lp.size(), 0);
   std::vector<std::uint64_t> transitions(wres.run.per_lp.size(), 0);
   for (std::size_t lp = 0; lp < events.size(); ++lp) {
-    events[lp] = wres.run.per_lp[lp].events_committed;
+    // Lane-aware work signal: committed lane transitions (mask popcounts),
+    // not raw event counts — on batched runs a gate whose inputs toggle
+    // across many lanes costs proportionally more CPU per event.  Equal
+    // to events_committed on scalar runs.
+    events[lp] = wres.run.per_lp[lp].lane_work_committed;
     const std::size_t fanout = c.fanouts(lp).size();
     const std::uint64_t sends = wres.run.per_lp[lp].sends_committed;
     transitions[lp] = fanout > 0 ? sends / fanout : sends;
@@ -81,9 +86,23 @@ DriverResult partition_circuit(const circuit::Circuit& c,
     res.activity_seconds = atimer.elapsed_seconds();
   }
 
-  const auto strategy = make_partitioner(cfg.partitioner, ml);
   util::WallTimer timer;
-  res.partition = strategy->run(c, cfg.num_nodes, cfg.seed);
+  std::uint64_t cache_key = 0;
+  if (!cfg.partition_cache_dir.empty()) {
+    cache_key = partition_cache_key(c, cfg.num_nodes, cfg.partitioner,
+                                    cfg.seed, ml, ml.weights);
+    res.partition_cache_hit =
+        partition_cache_load(cfg.partition_cache_dir, cache_key,
+                             cfg.num_nodes, c.size(), &res.partition);
+  }
+  if (!res.partition_cache_hit) {
+    const auto strategy = make_partitioner(cfg.partitioner, ml);
+    res.partition = strategy->run(c, cfg.num_nodes, cfg.seed);
+    if (!cfg.partition_cache_dir.empty()) {
+      partition_cache_store(cfg.partition_cache_dir, cache_key,
+                            res.partition);
+    }
+  }
   res.partition_seconds = timer.elapsed_seconds();
 
   res.partition.validate(c.size());
@@ -175,8 +194,10 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
       std::vector<std::uint64_t> transitions(c.size(), 0);
       std::uint64_t total = 0;
       for (std::size_t lp = 0; lp < c.size(); ++lp) {
+        // Lane-aware live work signal (committed lane transitions, ==
+        // events_committed on scalar runs) — see warmup_activity.
         const std::uint64_t ev =
-            req.events_committed[lp] - (base ? base->events[lp] : 0);
+            req.lane_work_committed[lp] - (base ? base->events[lp] : 0);
         const std::uint64_t sends =
             req.sends_committed[lp] - (base ? base->sends[lp] : 0);
         const std::size_t fanout = c.fanouts(lp).size();
@@ -197,7 +218,8 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
           });
         }
         if (snaps.empty() || snaps.back().gvt < req.gvt) {
-          snaps.push_back({req.gvt, req.events_committed, req.sends_committed});
+          snaps.push_back(
+              {req.gvt, req.lane_work_committed, req.sends_committed});
         }
       }
       if (total == 0) return {};  // nothing committed inside the window

@@ -27,7 +27,10 @@ ActivityProfile profile_activity(const circuit::Circuit& c,
       simulate_sequential(model.behaviours(), profile_end, 0);
 
   ActivityProfile p;
-  p.work = normalize_counts(stats.per_lp_events);
+  // Lane-aware work: an event's cost scales with the lanes it toggles
+  // (mask popcount), so batched runs weight gates by real evaluation
+  // work; identical to per_lp_events on scalar runs.
+  p.work = normalize_counts(stats.per_lp_lane_work);
 
   // sends(g) counts one event per (transition, sink) pair; dividing by the
   // fanout degree recovers transitions, the per-net traffic rate.

@@ -17,12 +17,19 @@ namespace pls::logicsim {
 
 /// Two per-gate activity signals, each mean-normalized (1.0 = average
 /// gate).  They answer different questions and drive different weights:
-///   work[g]     events *executed at* g — how much CPU hosting g costs
-///               (vertex/work weight).
-///   traffic[g]  output transitions of g (sends / fanout degree) — how
-///               many messages cutting g's fanout net costs per unit time
-///               (net/edge traffic weight).  A gate evaluated often but
-///               rarely toggling is heavy work yet cheap to cut.
+///   work[g]     lane transitions *executed at* g — popcount over the
+///               change masks of the events g receives — how much CPU
+///               hosting g costs (vertex/work weight).  On a scalar run
+///               every mask has one bit, so this is the classic
+///               events-executed count; on a batched run an event that
+///               toggles 40 lanes weighs 40, so lane-dense gates read as
+///               proportionally hotter than lane-sparse ones instead of
+///               all events counting alike.
+///   traffic[g]  output lane transitions of g (mask popcounts of sends /
+///               fanout degree) — how many messages cutting g's fanout
+///               net costs per unit time (net/edge traffic weight).  A
+///               gate evaluated often but rarely toggling is heavy work
+///               yet cheap to cut.
 struct ActivityProfile {
   std::vector<double> work;
   std::vector<double> traffic;

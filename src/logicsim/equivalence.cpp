@@ -28,11 +28,11 @@ EquivalenceReport check_equivalence(const warped::RunStats& parallel,
 EquivalenceReport check_lane_equivalence(
     const circuit::Circuit& c,
     const std::vector<warped::LpState>& batched_finals, unsigned lane,
-    const std::vector<warped::LpState>& scalar_finals) {
+    unsigned lanes, const std::vector<warped::LpState>& scalar_finals) {
   EquivalenceReport rep;
   rep.counts_equal = true;  // counts intentionally differ across widths
   const std::vector<warped::LpState> projected =
-      extract_lane_states(c, batched_finals, lane);
+      extract_lane_states(c, batched_finals, lane, lanes);
   rep.states_equal = projected.size() == scalar_finals.size();
   if (rep.states_equal) {
     for (std::size_t i = 0; i < projected.size(); ++i) {

@@ -33,14 +33,15 @@ EquivalenceReport check_equivalence(const warped::RunStats& parallel,
                                     const SeqStats& sequential);
 
 /// Lane-equivalence (the batched-engine contract, lanes.hpp): lane `lane`
-/// of a batched run's final states, projected onto the scalar layout, must
-/// equal the final states of an independent scalar run — one whose seed is
-/// lane_seed(base, lane).  Event counts are *not* compared (a batched run
-/// coalesces up to 64 scalar events into one); counts_equal is reported
-/// true so ok() reduces to the per-lane state check.
+/// of a `lanes`-wide batched run's final states, projected onto the scalar
+/// layout, must equal the final states of an independent scalar run — one
+/// whose seed is lane_seed(base, lane).  Event counts are *not* compared
+/// (a batched run coalesces up to kMaxLanes scalar events into one);
+/// counts_equal is reported true so ok() reduces to the per-lane state
+/// check.
 EquivalenceReport check_lane_equivalence(
     const circuit::Circuit& c,
     const std::vector<warped::LpState>& batched_finals, unsigned lane,
-    const std::vector<warped::LpState>& scalar_finals);
+    unsigned lanes, const std::vector<warped::LpState>& scalar_finals);
 
 }  // namespace pls::logicsim

@@ -27,12 +27,37 @@ std::vector<StuckAtFault> sample_faults(const circuit::Circuit& c,
   return out;
 }
 
+// The batched state layouts (netlist_lps.hpp), K = lane_words(lanes):
+//   BatchGateLp  w[wd*arity + p] = fanin p, word wd;  b = out word 0,
+//                w[arity*K + wd-1] = out words 1..K-1;  a = divergence
+//                word 0, w[arity*K + K-1 + wd-1] = words 1..K-1 (observe).
+//   BatchDffLp   a/b = D/Q word 0; w[0..K) = armed; w[K + wd-1] = D words
+//                1..K-1; w[2K-1 + wd-1] = Q words 1..K-1;
+//                w[3K-2 + wd] = divergence words 0..K-1 (observe).
+//   BatchInputLp b = stimulus word 0; w[wd-1] = words 1..K-1; a =
+//                divergence word 0, w[K-1 + wd-1] = words 1..K-1 (observe).
+// K = 1 collapses every extension to the legacy single-word layout.
+
+namespace {
+
+inline bool state_bit(std::uint64_t word0, const mem::Words& w,
+                      std::size_t ext_base, unsigned wd, unsigned bit) {
+  const std::uint64_t word = wd == 0 ? word0 : w[ext_base + wd - 1];
+  return ((word >> bit) & 1) != 0;
+}
+
+}  // namespace
+
 std::vector<LpState> extract_lane_states(const circuit::Circuit& c,
                                          const std::vector<LpState>& wide,
-                                         unsigned lane) {
+                                         unsigned lane, unsigned lanes) {
   PLS_CHECK_MSG(wide.size() == c.size(),
                 "final-state vector does not match the circuit");
-  PLS_CHECK_MSG(lane < kMaxLanes, "lane out of range");
+  PLS_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes, "lane count out of range");
+  PLS_CHECK_MSG(lane < lanes, "lane out of range");
+  const unsigned K = lane_words(lanes);
+  const unsigned wd = lane / 64;
+  const unsigned bit = lane % 64;
   std::vector<LpState> out(wide.size());
   for (circuit::GateId g = 0; g < c.size(); ++g) {
     const LpState& w = wide[g];
@@ -40,23 +65,23 @@ std::vector<LpState> extract_lane_states(const circuit::Circuit& c,
     switch (c.type(g)) {
       case circuit::GateType::kInput:
         // Scalar InputLp: b bit 0 = current stimulus value, a unused.
-        s.b = (w.b >> lane) & 1;
+        s.b = state_bit(w.b, w.w, 0, wd, bit) ? 1 : 0;
         break;
       case circuit::GateType::kDff:
         // Scalar DffLp: a = latched D, b = Q.
-        s.a = (w.a >> lane) & 1;
-        s.b = (w.b >> lane) & 1;
+        s.a = state_bit(w.a, w.w, K, wd, bit) ? 1 : 0;
+        s.b = state_bit(w.b, w.w, 2 * K - 1, wd, bit) ? 1 : 0;
         break;
       default: {
         // Scalar GateLp packs fanin bits into a (bit p = input p); the
-        // batched gate keeps one lane word per fanin in w.w[p].
+        // batched gate keeps one lane word per (fanin, word), word-major.
         const auto arity = c.fanins(g).size();
-        PLS_CHECK_MSG(w.w.size() == arity,
+        PLS_CHECK_MSG(w.w.size() >= arity * K,
                       "gate " << g << " state is not batched (lanes < 2?)");
         for (std::size_t p = 0; p < arity; ++p) {
-          s.a |= ((w.w[p] >> lane) & 1) << p;
+          s.a |= ((w.w[wd * arity + p] >> bit) & 1) << p;
         }
-        s.b = (w.b >> lane) & 1;
+        s.b = state_bit(w.b, w.w, arity * K, wd, bit) ? 1 : 0;
         break;
       }
     }
@@ -66,26 +91,46 @@ std::vector<LpState> extract_lane_states(const circuit::Circuit& c,
 
 std::vector<bool> detected_faults(const circuit::Circuit& c,
                                   const std::vector<StuckAtFault>& faults,
-                                  const std::vector<LpState>& finals) {
+                                  const std::vector<LpState>& finals,
+                                  unsigned lanes) {
   PLS_CHECK_MSG(finals.size() == c.size(),
                 "final-state vector does not match the circuit");
-  PLS_CHECK_MSG(faults.size() < kMaxLanes,
-                "at most 63 faults fit beside the fault-free lane 0");
-  // OR together the divergence accumulators of every observing gate.  The
-  // accumulator slot depends on the behaviour's state layout: DFFs keep
-  // a = D, b = Q and w[0] = armed lanes, so their accumulator lives in
-  // w[1]; input and combinational LPs keep it in a.
-  std::uint64_t divergent = 0;
+  PLS_CHECK_MSG(lanes >= 2 && lanes <= kMaxLanes, "lane count out of range");
+  PLS_CHECK_MSG(faults.size() < lanes,
+                "fault lanes exceed the run's lane count");
+  const unsigned K = lane_words(lanes);
+  // OR together the divergence accumulators of every observing gate; the
+  // accumulator slot depends on the behaviour's state layout (see above).
+  std::uint64_t divergent[kMaxLaneWords] = {};
   for (circuit::GateId g : c.primary_outputs()) {
-    if (c.type(g) == circuit::GateType::kDff) {
-      divergent |= finals[g].w.size() >= 2 ? finals[g].w[1] : 0;
-    } else {
-      divergent |= finals[g].a;
+    const LpState& s = finals[g];
+    switch (c.type(g)) {
+      case circuit::GateType::kDff:
+        for (unsigned wd = 0; wd < K; ++wd) {
+          divergent[wd] |= s.w.size() >= 3 * K - 2 + K ? s.w[3 * K - 2 + wd]
+                                                       : 0;
+        }
+        break;
+      case circuit::GateType::kInput:
+        divergent[0] |= s.a;
+        for (unsigned wd = 1; wd < K; ++wd) {
+          divergent[wd] |= s.w[(K - 1) + wd - 1];
+        }
+        break;
+      default: {
+        const auto arity = c.fanins(g).size();
+        divergent[0] |= s.a;
+        for (unsigned wd = 1; wd < K; ++wd) {
+          divergent[wd] |= s.w[arity * K + (K - 1) + wd - 1];
+        }
+        break;
+      }
     }
   }
   std::vector<bool> out(faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    out[i] = ((divergent >> (i + 1)) & 1) != 0;
+    const unsigned lane = static_cast<unsigned>(i) + 1;
+    out[i] = ((divergent[lane / 64] >> (lane % 64)) & 1) != 0;
   }
   return out;
 }

@@ -1,11 +1,18 @@
 #pragma once
 // Batched-stimulus lane utilities: seeds, masks, per-lane state extraction
-// and stuck-at fault bookkeeping for the bit-parallel 64-wide engine.
+// and stuck-at fault bookkeeping for the bit-parallel engine.
 //
-// A batched run packs up to 64 independent stimulus scenarios into the bit
-// lanes of each net's `uint64_t` value word (see gate_eval.hpp
-// eval_gate_word and the Batch* LPs in netlist_lps.hpp).  The correctness
-// contract is the *lane-equivalence* property this module makes checkable:
+// A batched run packs up to kMaxLanes independent stimulus scenarios into
+// the bit lanes of each net's value words (see gate_eval.hpp
+// eval_gate_word and the Batch* LPs in netlist_lps.hpp).  Lane counts up
+// to 64 fit one `uint64_t` per signal; wider runs carry
+// K = lane_words(lanes) words per signal, with lane j living in bit
+// j % 64 of word j / 64.  Word 0 stays in the legacy Event/LpState slots,
+// words 1..K-1 ride in the arena-pooled extensions (mem/words.hpp), so
+// N <= 64 runs are bit-identical to the single-word engine.
+//
+// The correctness contract is the *lane-equivalence* property this module
+// makes checkable:
 //
 //   lane j of a batched run with base seed S is bit-identical to an
 //   independent scalar (lanes = 1) run with seed lane_seed(S, j),
@@ -33,12 +40,26 @@
 
 namespace pls::logicsim {
 
-inline constexpr unsigned kMaxLanes = 64;
+inline constexpr unsigned kMaxLanes = 256;
+inline constexpr unsigned kMaxLaneWords = kMaxLanes / 64;
 
-/// Active-lane mask for a lane count in [1, 64].
+/// Number of 64-lane value words a lane count in [1, kMaxLanes] occupies.
+constexpr std::uint32_t lane_words(unsigned lanes) noexcept {
+  return (lanes + 63) / 64;
+}
+
+/// Active-lane mask of word `word` for a lane count in [1, kMaxLanes]:
+/// full words below the boundary, a low-bit prefix in the boundary word,
+/// zero above it.
+constexpr std::uint64_t lane_mask_word(unsigned lanes, unsigned word) noexcept {
+  if (lanes >= (word + 1) * 64) return ~std::uint64_t{0};
+  if (lanes <= word * 64) return 0;
+  return (std::uint64_t{1} << (lanes - word * 64)) - 1;
+}
+
+/// Active-lane mask of word 0 (the full mask for lane counts <= 64).
 constexpr std::uint64_t lane_mask(unsigned lanes) noexcept {
-  return lanes >= 64 ? ~std::uint64_t{0}
-                     : ((std::uint64_t{1} << lanes) - 1);
+  return lane_mask_word(lanes, 0);
 }
 
 /// Stimulus seed lane j of a batched run draws its vectors from.  Lane 0
@@ -70,19 +91,21 @@ std::vector<StuckAtFault> sample_faults(const circuit::Circuit& c,
 /// Project the final LP states of a batched run onto the scalar state
 /// layout for one lane: the result compares equal (operator==) to the
 /// final_states of an independent scalar run of the same circuit with
-/// seed lane_seed(base, lane).  `wide` must come from a lanes >= 1 model
-/// built for this circuit; fault-detection accumulators are excluded from
-/// the projection (they have no scalar counterpart).
+/// seed lane_seed(base, lane).  `wide` must come from a model built for
+/// this circuit with `lanes` stimulus lanes (lanes >= 2 for the batched
+/// state layouts); fault-detection accumulators are excluded from the
+/// projection (they have no scalar counterpart).
 std::vector<warped::LpState> extract_lane_states(
     const circuit::Circuit& c, const std::vector<warped::LpState>& wide,
-    unsigned lane);
+    unsigned lane, unsigned lanes);
 
 /// Read the fault-detection verdict out of a finished fault-simulation
-/// run: element i is true iff faults[i] (carried on lane i + 1) drove any
-/// primary output to a value different from fault-free lane 0 at any
-/// committed point of the run.
+/// run of a `lanes`-wide model: element i is true iff faults[i] (carried
+/// on lane i + 1) drove any primary output to a value different from
+/// fault-free lane 0 at any committed point of the run.
 std::vector<bool> detected_faults(const circuit::Circuit& c,
                                   const std::vector<StuckAtFault>& faults,
-                                  const std::vector<warped::LpState>& finals);
+                                  const std::vector<warped::LpState>& finals,
+                                  unsigned lanes);
 
 }  // namespace pls::logicsim

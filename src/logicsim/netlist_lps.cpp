@@ -180,33 +180,57 @@ void InputLp::execute(Context& ctx, EventBatch batch) {
 
 namespace {
 
-/// Divergence of each active lane against lane 0: bit j set iff value bit
-/// j differs from value bit 0.  Bit 0 is always clear (lane 0 is its own
-/// reference), so observing gates accumulate only genuine fault effects.
-inline std::uint64_t divergence_from_lane0(std::uint64_t value,
-                                           std::uint64_t lanes) noexcept {
-  return (value ^ ((value & 1) ? ~std::uint64_t{0} : 0)) & lanes;
+/// Divergence of each active lane against lane 0: bit j of word wd set iff
+/// that value bit differs from value bit 0 of word 0 (the global reference
+/// lane).  Word 0's bit 0 is always clear (lane 0 is its own reference),
+/// so observing gates accumulate only genuine fault effects.
+inline std::uint64_t divergence_from_lane0(std::uint64_t word,
+                                           std::uint64_t ref_word0,
+                                           std::uint64_t active) noexcept {
+  return (word ^ ((ref_word0 & 1) ? ~std::uint64_t{0} : 0)) & active;
+}
+
+/// Fill per-word active masks and stuck-at words from the lane count and
+/// the (possibly shorter) injection vectors; shared ctor plumbing.
+inline void init_lane_words(std::uint32_t lanes,
+                            const std::vector<std::uint64_t>& sa_mask,
+                            const std::vector<std::uint64_t>& sa_value,
+                            std::uint64_t (&active)[kMaxLaneWords],
+                            std::uint64_t (&sam)[kMaxLaneWords],
+                            std::uint64_t (&sav)[kMaxLaneWords]) {
+  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
+  PLS_CHECK(sa_mask.size() <= lane_words(lanes));
+  PLS_CHECK(sa_value.size() <= sa_mask.size());
+  for (std::uint32_t wd = 0; wd < kMaxLaneWords; ++wd) {
+    active[wd] = lane_mask_word(lanes, wd);
+    const std::uint64_t m = wd < sa_mask.size() ? sa_mask[wd] : 0;
+    const std::uint64_t v = wd < sa_value.size() ? sa_value[wd] : 0;
+    sam[wd] = m & active[wd];
+    sav[wd] = v & sam[wd];
+  }
 }
 
 }  // namespace
 
 BatchGateLp::BatchGateLp(circuit::GateType type, std::uint32_t arity,
                          std::vector<FanoutPort> fanouts, SimTime delay,
-                         std::uint32_t lanes, std::uint64_t sa_mask,
-                         std::uint64_t sa_value, bool observe)
+                         std::uint32_t lanes,
+                         std::vector<std::uint64_t> sa_mask,
+                         std::vector<std::uint64_t> sa_value, bool observe)
     : type_(type), arity_(arity), fanouts_(std::move(fanouts)),
-      delay_(delay), lane_mask_(logicsim::lane_mask(lanes)),
-      sa_mask_(sa_mask & lane_mask_),
-      sa_value_(sa_value & sa_mask & lane_mask_), observe_(observe) {
+      delay_(delay), words_(lane_words(lanes)), observe_(observe) {
   PLS_CHECK_MSG(arity_ >= 1 && arity_ <= 64,
                 "gate arity must be in [1,64] (scalar-equivalence bound)");
-  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
   PLS_CHECK(delay_ >= 1);
+  init_lane_words(lanes, sa_mask, sa_value, active_, sa_mask_, sa_value_);
 }
 
 warped::LpState BatchGateLp::initial_state() const {
   LpState s;
-  s.w.assign(arity_, 0);  // one lane word per fanin
+  // Word-major fanin words, then output words 1..K-1, then (observing
+  // gates) divergence words 1..K-1 — see the header's layout comment.
+  const std::uint32_t K = words_;
+  s.w.assign(arity_ * K + (K - 1) + (observe_ ? K - 1 : 0), 0);
   return s;
 }
 
@@ -216,26 +240,48 @@ void BatchGateLp::init(Context& ctx) {
 
 void BatchGateLp::execute(Context& ctx, EventBatch batch) {
   LpState& s = ctx.state();
+  const std::uint32_t K = words_;
   for (const auto& ev : batch) {
     if (ev.port == kTickPort) continue;  // power-on tick: just evaluate
     PLS_DCHECK(ev.port < arity_);
-    // Masked application: lanes outside ev.mask keep their old value, so
+    PLS_DCHECK(ev.payload_words() == K);
+    // Masked application: lanes outside the mask keep their old value, so
     // an event can never perturb a lane whose driver did not change.
-    s.w[ev.port] = (s.w[ev.port] & ~ev.mask) | (ev.value & ev.mask);
+    for (std::uint32_t wd = 0; wd < K; ++wd) {
+      std::uint64_t& slot = s.w[wd * arity_ + ev.port];
+      const std::uint64_t m = ev.mask_word(wd);
+      slot = (slot & ~m) | (ev.value_word(wd) & m);
+    }
   }
-  std::uint64_t out = eval_gate_word(type_, s.w.data(), arity_) & lane_mask_;
-  out = (out & ~sa_mask_) | sa_value_;
-  const std::uint64_t diff = out ^ s.b;
-  if (diff != 0) {
-    s.b = out;
+  std::uint64_t out[kMaxLaneWords];
+  std::uint64_t diff[kMaxLaneWords];
+  std::uint64_t any = 0;
+  for (std::uint32_t wd = 0; wd < K; ++wd) {
+    std::uint64_t o =
+        eval_gate_word(type_, s.w.data() + wd * arity_, arity_) & active_[wd];
+    o = (o & ~sa_mask_[wd]) | sa_value_[wd];
+    const std::uint64_t cur = wd == 0 ? s.b : s.w[arity_ * K + wd - 1];
+    out[wd] = o;
+    diff[wd] = o ^ cur;
+    any |= diff[wd];
+  }
+  if (any != 0) {
+    s.b = out[0];
+    for (std::uint32_t wd = 1; wd < K; ++wd) s.w[arity_ * K + wd - 1] = out[wd];
     const SimTime at = ctx.now() + delay_;
     if (at <= ctx.end_time()) {
       for (const auto& f : fanouts_) {
-        ctx.send(f.target, at, f.port, out, diff);
+        ctx.send_wide(f.target, at, f.port, out, diff, K);
       }
     }
   }
-  if (observe_) s.a |= divergence_from_lane0(out, lane_mask_);
+  if (observe_) {
+    s.a |= divergence_from_lane0(out[0], out[0], active_[0]);
+    for (std::uint32_t wd = 1; wd < K; ++wd) {
+      s.w[arity_ * K + (K - 1) + wd - 1] |=
+          divergence_from_lane0(out[wd], out[0], active_[wd]);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -244,21 +290,22 @@ void BatchGateLp::execute(Context& ctx, EventBatch batch) {
 
 BatchDffLp::BatchDffLp(std::vector<FanoutPort> fanouts, SimTime period,
                        SimTime phase, SimTime delay, std::uint32_t lanes,
-                       std::uint64_t sa_mask, std::uint64_t sa_value,
-                       bool observe)
+                       std::vector<std::uint64_t> sa_mask,
+                       std::vector<std::uint64_t> sa_value, bool observe)
     : fanouts_(std::move(fanouts)), period_(period), phase_(phase),
-      delay_(delay), lane_mask_(logicsim::lane_mask(lanes)),
-      sa_mask_(sa_mask & lane_mask_),
-      sa_value_(sa_value & sa_mask & lane_mask_), observe_(observe) {
+      delay_(delay), words_(lane_words(lanes)), observe_(observe) {
   PLS_CHECK(period_ >= 1);
   PLS_CHECK(phase_ >= 1);
   PLS_CHECK(delay_ >= 1);
-  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
+  init_lane_words(lanes, sa_mask, sa_value, active_, sa_mask_, sa_value_);
 }
 
 warped::LpState BatchDffLp::initial_state() const {
   LpState s;
-  s.w.assign(observe_ ? 2 : 1, 0);  // w[0] = armed lanes, w[1] observes
+  // Armed words, D words 1..K-1, Q words 1..K-1, then (observing DFFs)
+  // divergence words 0..K-1 — see the header's layout comment.
+  const std::uint32_t K = words_;
+  s.w.assign(3 * K - 2 + (observe_ ? K : 0), 0);
   return s;
 }
 
@@ -279,26 +326,34 @@ warped::SimTime BatchDffLp::next_edge_at_or_after(SimTime t) const {
 
 void BatchDffLp::execute(Context& ctx, EventBatch batch) {
   LpState& s = ctx.state();
+  const std::uint32_t K = words_;
   // Data first, then clock: a D arriving exactly on the edge is captured
   // (by the lanes that own a tick at this edge — see below).
   bool tick = false;
-  std::uint64_t changed = 0;
+  std::uint64_t changed[kMaxLaneWords] = {};
+  std::uint64_t any_changed = 0;
   for (const auto& ev : batch) {
     if (ev.port == kTickPort) {
       tick = true;
     } else {
       PLS_DCHECK(ev.port == 0);
-      s.a = (s.a & ~ev.mask) | (ev.value & ev.mask);
-      changed |= ev.mask & lane_mask_;
+      PLS_DCHECK(ev.payload_words() == K);
+      for (std::uint32_t wd = 0; wd < K; ++wd) {
+        std::uint64_t& d = wd == 0 ? s.a : s.w[K + wd - 1];
+        const std::uint64_t m = ev.mask_word(wd);
+        d = (d & ~m) | (ev.value_word(wd) & m);
+        changed[wd] |= m & active_[wd];
+        any_changed |= changed[wd];
+      }
     }
   }
 
-  if (changed != 0 && !tick) {
+  if (any_changed != 0 && !tick) {
     // Arm the changed lanes for the next edge.  All armed lanes always
     // pend the *same* edge: arming times since the last processed edge
     // map to one next_edge, and the tick batch at that edge re-arms
     // on-edge changes afresh.
-    s.w[0] |= changed;
+    for (std::uint32_t wd = 0; wd < K; ++wd) s.w[wd] |= changed[wd];
     const SimTime edge = next_edge_at_or_after(ctx.now() + 1);
     if (edge <= ctx.end_time()) ctx.schedule_self(edge);
     return;
@@ -309,27 +364,43 @@ void BatchDffLp::execute(Context& ctx, EventBatch batch) {
   // scalar run has a tick here — the init edge (sampled by everyone) or
   // an edge lane j armed itself.  A lane whose D changed exactly on a
   // foreign-armed edge instead arms the next edge, like its scalar twin.
-  const std::uint64_t sample =
-      ctx.now() == phase_ ? lane_mask_ : (s.w[0] & lane_mask_);
-  s.w[0] = changed & ~sample;
-  if (s.w[0] != 0) {
+  std::uint64_t rearm = 0;
+  std::uint64_t q[kMaxLaneWords];
+  std::uint64_t diff[kMaxLaneWords];
+  std::uint64_t any_diff = 0;
+  for (std::uint32_t wd = 0; wd < K; ++wd) {
+    const std::uint64_t sample =
+        ctx.now() == phase_ ? active_[wd] : (s.w[wd] & active_[wd]);
+    s.w[wd] = changed[wd] & ~sample;
+    rearm |= s.w[wd];
+    const std::uint64_t d = wd == 0 ? s.a : s.w[K + wd - 1];
+    const std::uint64_t cur = wd == 0 ? s.b : s.w[2 * K - 1 + wd - 1];
+    std::uint64_t qw = ((cur & ~sample) | (d & sample)) & active_[wd];
+    qw = (qw & ~sa_mask_[wd]) | sa_value_[wd];
+    q[wd] = qw;
+    diff[wd] = qw ^ cur;
+    any_diff |= diff[wd];
+  }
+  if (rearm != 0) {
     const SimTime edge = next_edge_at_or_after(ctx.now() + 1);
     if (edge <= ctx.end_time()) ctx.schedule_self(edge);
   }
 
-  std::uint64_t q = ((s.b & ~sample) | (s.a & sample)) & lane_mask_;
-  q = (q & ~sa_mask_) | sa_value_;
-  const std::uint64_t diff = q ^ s.b;
-  if (diff != 0) {
-    s.b = q;
+  if (any_diff != 0) {
+    s.b = q[0];
+    for (std::uint32_t wd = 1; wd < K; ++wd) s.w[2 * K - 1 + wd - 1] = q[wd];
     const SimTime at = ctx.now() + delay_;
     if (at <= ctx.end_time()) {
       for (const auto& f : fanouts_) {
-        ctx.send(f.target, at, f.port, q, diff);
+        ctx.send_wide(f.target, at, f.port, q, diff, K);
       }
     }
   }
-  if (observe_) s.w[1] |= divergence_from_lane0(q, lane_mask_);
+  if (observe_) {
+    for (std::uint32_t wd = 0; wd < K; ++wd) {
+      s.w[3 * K - 2 + wd] |= divergence_from_lane0(q[wd], q[0], active_[wd]);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -340,29 +411,40 @@ BatchInputLp::BatchInputLp(std::vector<FanoutPort> fanouts, SimTime period,
                            SimTime delay, std::uint64_t seed,
                            std::uint32_t lanes, bool uniform_stimulus,
                            SimTime drift_at, bool hot_first,
-                           std::uint64_t sa_mask, std::uint64_t sa_value,
-                           bool observe)
+                           std::vector<std::uint64_t> sa_mask,
+                           std::vector<std::uint64_t> sa_value, bool observe)
     : fanouts_(std::move(fanouts)), period_(period), delay_(delay),
-      seed_(seed), lanes_(lanes), lane_mask_(logicsim::lane_mask(lanes)),
+      seed_(seed), lanes_(lanes), words_(lane_words(lanes)),
       uniform_(uniform_stimulus), drift_at_(drift_at),
-      hot_first_(hot_first), sa_mask_(sa_mask & lane_mask_),
-      sa_value_(sa_value & sa_mask & lane_mask_), observe_(observe) {
+      hot_first_(hot_first), observe_(observe) {
   PLS_CHECK(period_ >= 1);
   PLS_CHECK(delay_ >= 1);
-  PLS_CHECK(lanes >= 1 && lanes <= kMaxLanes);
+  init_lane_words(lanes, sa_mask, sa_value, active_, sa_mask_, sa_value_);
 }
 
-warped::LpState BatchInputLp::initial_state() const { return {}; }
+warped::LpState BatchInputLp::initial_state() const {
+  LpState s;
+  // Stimulus words 1..K-1, then (observing inputs) divergence words
+  // 1..K-1 — see the header's layout comment.
+  const std::uint32_t K = words_;
+  s.w.assign((K - 1) + (observe_ ? K - 1 : 0), 0);
+  return s;
+}
 
 std::uint64_t BatchInputLp::vector_word(std::uint64_t seed, warped::LpId lp,
                                         std::uint64_t n, std::uint32_t lanes,
-                                        bool uniform) noexcept {
+                                        bool uniform,
+                                        std::uint32_t word) noexcept {
+  const std::uint64_t active = lane_mask_word(lanes, word);
   if (uniform) {
-    return InputLp::vector_bit(seed, lp, n) ? ~std::uint64_t{0} : 0;
+    return (InputLp::vector_bit(seed, lp, n) ? ~std::uint64_t{0} : 0) &
+           active;
   }
   std::uint64_t w = 0;
-  for (std::uint32_t j = 0; j < lanes && j < kMaxLanes; ++j) {
-    w |= std::uint64_t{InputLp::vector_bit(lane_seed(seed, j), lp, n)} << j;
+  for (std::uint32_t b = 0; b < 64; ++b) {
+    const std::uint32_t j = word * 64 + b;
+    if (j >= lanes) break;
+    w |= std::uint64_t{InputLp::vector_bit(lane_seed(seed, j), lp, n)} << b;
   }
   return w;
 }
@@ -373,6 +455,7 @@ void BatchInputLp::init(Context& ctx) {
 
 void BatchInputLp::execute(Context& ctx, EventBatch batch) {
   LpState& s = ctx.state();
+  const std::uint32_t K = words_;
   bool tick = false;
   for (const auto& ev : batch) tick |= (ev.port == kTickPort);
   if (!tick) return;
@@ -384,20 +467,34 @@ void BatchInputLp::execute(Context& ctx, EventBatch batch) {
     const bool hot = (ctx.now() < drift_at_) == hot_first_;
     if (!hot) n = hot_first_ ? drift_at_ / period_ : 0;
   }
-  std::uint64_t v =
-      vector_word(seed_, ctx.self(), n, lanes_, uniform_) & lane_mask_;
-  v = (v & ~sa_mask_) | sa_value_;
-  const std::uint64_t diff = v ^ s.b;
-  if (diff != 0) {
-    s.b = v;
+  std::uint64_t v[kMaxLaneWords];
+  std::uint64_t diff[kMaxLaneWords];
+  std::uint64_t any = 0;
+  for (std::uint32_t wd = 0; wd < K; ++wd) {
+    std::uint64_t vw =
+        vector_word(seed_, ctx.self(), n, lanes_, uniform_, wd) & active_[wd];
+    vw = (vw & ~sa_mask_[wd]) | sa_value_[wd];
+    const std::uint64_t cur = wd == 0 ? s.b : s.w[wd - 1];
+    v[wd] = vw;
+    diff[wd] = vw ^ cur;
+    any |= diff[wd];
+  }
+  if (any != 0) {
+    s.b = v[0];
+    for (std::uint32_t wd = 1; wd < K; ++wd) s.w[wd - 1] = v[wd];
     const SimTime at = ctx.now() + delay_;
     if (at <= ctx.end_time()) {
       for (const auto& f : fanouts_) {
-        ctx.send(f.target, at, f.port, v, diff);
+        ctx.send_wide(f.target, at, f.port, v, diff, K);
       }
     }
   }
-  if (observe_) s.a |= divergence_from_lane0(v, lane_mask_);
+  if (observe_) {
+    s.a |= divergence_from_lane0(v[0], v[0], active_[0]);
+    for (std::uint32_t wd = 1; wd < K; ++wd) {
+      s.w[(K - 1) + wd - 1] |= divergence_from_lane0(v[wd], v[0], active_[wd]);
+    }
+  }
   const SimTime next = ctx.now() + period_;
   if (next <= ctx.end_time()) ctx.schedule_self(next);
 }
@@ -439,16 +536,24 @@ SimModel build_model(const circuit::Circuit& c, const ModelOptions& opt) {
   std::size_t input_ordinal = 0;
 
   // Stuck-at injection words: fault i forces its gate's output on lane
-  // i + 1 (lane 0 stays the fault-free reference).
-  std::vector<std::uint64_t> sa_mask(c.size(), 0), sa_value(c.size(), 0);
+  // i + 1 (lane 0 stays the fault-free reference).  One mask/value word
+  // per lane word, allocated lazily — fault-free gates pass empty vectors.
+  const std::uint32_t K = lane_words(opt.lanes);
+  std::vector<std::vector<std::uint64_t>> sa_mask(c.size()),
+      sa_value(c.size());
   for (std::size_t i = 0; i < opt.faults.size(); ++i) {
     const StuckAtFault& f = opt.faults[i];
     PLS_CHECK_MSG(f.gate < c.size(),
                   "fault " << i << " names gate " << f.gate
                            << " outside the circuit");
-    const std::uint64_t bit = std::uint64_t{1} << (i + 1);
-    sa_mask[f.gate] |= bit;
-    if (f.stuck_value) sa_value[f.gate] |= bit;
+    if (sa_mask[f.gate].empty()) {
+      sa_mask[f.gate].assign(K, 0);
+      sa_value[f.gate].assign(K, 0);
+    }
+    const std::size_t lane = i + 1;
+    const std::uint64_t bit = std::uint64_t{1} << (lane % 64);
+    sa_mask[f.gate][lane / 64] |= bit;
+    if (f.stuck_value) sa_value[f.gate][lane / 64] |= bit;
   }
   const bool fault_mode = !opt.faults.empty();
   const bool batched = opt.lanes > 1;

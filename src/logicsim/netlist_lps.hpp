@@ -46,11 +46,15 @@ struct ModelOptions {
   /// history-independent (rollback- and node-count-invariant).  0 = off.
   warped::SimTime stim_drift_at = 0;
 
-  /// Batched stimulus: number of bit-parallel lanes in [1, 64].  1 keeps
-  /// the classic scalar behaviours (bit-identical to before the batched
-  /// engine existed); >= 2 elaborates the Batch* behaviours, where every
-  /// net carries one value bit per lane and lane j replays the scalar run
-  /// with seed lane_seed(stim_seed, j) — see lanes.hpp for the contract.
+  /// Batched stimulus: number of bit-parallel lanes in [1, kMaxLanes].
+  /// 1 keeps the classic scalar behaviours (bit-identical to before the
+  /// batched engine existed); >= 2 elaborates the Batch* behaviours, where
+  /// every net carries one value bit per lane and lane j replays the
+  /// scalar run with seed lane_seed(stim_seed, j) — see lanes.hpp for the
+  /// contract.  Counts above 64 span lane_words(lanes) value words per
+  /// signal; word 0 stays in the legacy Event/LpState slots and the tail
+  /// words ride the arena-pooled extensions, so N <= 64 runs are
+  /// bit-identical to the single-word engine.
   std::uint32_t lanes = 1;
 
   /// Fault simulation (lanes >= 2 only): fault i is injected on lane
@@ -166,34 +170,42 @@ class InputLp final : public warped::LogicalProcess {
   bool hot_first_ = true;
 };
 
-// ---- batched (bit-parallel, up to 64-wide) behaviours ----------------------
+// ---- batched (bit-parallel, up to kMaxLanes-wide) behaviours ---------------
 //
 // Lane-for-lane the same automata as GateLp/DffLp/InputLp, evaluated over
-// whole value words: state keeps one lane word per signal, events carry a
-// value word plus the change mask, and an event fires only when at least
-// one lane changed.  Unchanged lanes are never perturbed (masked
-// application), so lane j's committed trajectory is exactly the scalar
-// run's — the lane-equivalence contract lanes.hpp documents and
-// tests/batch_equivalence_property_test.cpp enforces.
+// whole value words: state keeps K = lane_words(lanes) lane words per
+// signal, events carry K value words plus K change-mask words, and an
+// event fires only when at least one lane changed.  Unchanged lanes are
+// never perturbed (masked application), so lane j's committed trajectory
+// is exactly the scalar run's — the lane-equivalence contract lanes.hpp
+// documents and tests/batch_equivalence_property_test.cpp enforces.
+// Word 0 of every signal lives in the legacy LpState slot its 64-lane
+// predecessor used; words 1..K-1 extend into LpState::w (layouts below),
+// so K = 1 states are byte-identical to the single-word engine's.
 //
 // All three support stuck-at injection at their output (sa_mask / sa_value
-// lane words) and, on observing gates (primary outputs in fault mode), a
-// monotone divergence accumulator against fault-free lane 0.
+// lane words, one entry per value word) and, on observing gates (primary
+// outputs in fault mode), a monotone divergence accumulator against
+// fault-free lane 0.
 
 class BatchGateLp final : public warped::LogicalProcess {
  public:
-  /// State layout: w[p] = lane word of fanin p, b = output lane word,
-  /// a = divergence accumulator (observing gates only, else 0).
+  /// State layout (K = lane_words(lanes)): w[wd*arity + p] = word wd of
+  /// fanin p (word-major, so eval_gate_word reads one contiguous run per
+  /// word); b = output word 0, w[arity*K + wd-1] = output words 1..K-1;
+  /// a = divergence word 0, w[arity*K + K-1 + wd-1] = divergence words
+  /// 1..K-1 (observing gates only).
   BatchGateLp(circuit::GateType type, std::uint32_t arity,
               std::vector<FanoutPort> fanouts, warped::SimTime delay,
-              std::uint32_t lanes, std::uint64_t sa_mask = 0,
-              std::uint64_t sa_value = 0, bool observe = false);
+              std::uint32_t lanes,
+              std::vector<std::uint64_t> sa_mask = {},
+              std::vector<std::uint64_t> sa_value = {}, bool observe = false);
 
   warped::LpState initial_state() const override;
   void init(warped::Context& ctx) override;
   void execute(warped::Context& ctx, warped::EventBatch batch) override;
 
-  /// Current output lane word of a state.
+  /// Current output lane word 0 of a state.
   static std::uint64_t output_word_of(const warped::LpState& s) noexcept {
     return s.b;
   }
@@ -203,21 +215,25 @@ class BatchGateLp final : public warped::LogicalProcess {
   std::uint32_t arity_;
   std::vector<FanoutPort> fanouts_;
   warped::SimTime delay_;
-  std::uint64_t lane_mask_;
-  std::uint64_t sa_mask_;
-  std::uint64_t sa_value_;
+  std::uint32_t words_;
+  std::uint64_t active_[kMaxLaneWords];
+  std::uint64_t sa_mask_[kMaxLaneWords];
+  std::uint64_t sa_value_[kMaxLaneWords];
   bool observe_;
 };
 
 class BatchDffLp final : public warped::LogicalProcess {
  public:
-  /// State layout: a = latched D lane word, b = Q lane word, w[0] =
-  /// lanes armed for the next sampling edge (per-lane clock suppression),
-  /// w[1] = divergence accumulator (observing DFFs only).
+  /// State layout (K = lane_words(lanes)): a = latched D word 0, b = Q
+  /// word 0; w[0..K) = lanes armed for the next sampling edge (per-lane
+  /// clock suppression); w[K + wd-1] = D words 1..K-1; w[2K-1 + wd-1] =
+  /// Q words 1..K-1; w[3K-2 + wd] = divergence words 0..K-1 (observing
+  /// DFFs only).
   BatchDffLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
              warped::SimTime phase, warped::SimTime delay,
-             std::uint32_t lanes, std::uint64_t sa_mask = 0,
-             std::uint64_t sa_value = 0, bool observe = false);
+             std::uint32_t lanes,
+             std::vector<std::uint64_t> sa_mask = {},
+             std::vector<std::uint64_t> sa_value = {}, bool observe = false);
 
   warped::LpState initial_state() const override;
   void init(warped::Context& ctx) override;
@@ -231,34 +247,38 @@ class BatchDffLp final : public warped::LogicalProcess {
   warped::SimTime period_;
   warped::SimTime phase_;
   warped::SimTime delay_;
-  std::uint64_t lane_mask_;
-  std::uint64_t sa_mask_;
-  std::uint64_t sa_value_;
+  std::uint32_t words_;
+  std::uint64_t active_[kMaxLaneWords];
+  std::uint64_t sa_mask_[kMaxLaneWords];
+  std::uint64_t sa_value_[kMaxLaneWords];
   bool observe_;
 };
 
 class BatchInputLp final : public warped::LogicalProcess {
  public:
-  /// State layout: b = current stimulus lane word, a = divergence
-  /// accumulator (observing inputs only, else 0).  With
+  /// State layout (K = lane_words(lanes)): b = stimulus word 0,
+  /// w[wd-1] = words 1..K-1; a = divergence word 0, w[K-1 + wd-1] =
+  /// divergence words 1..K-1 (observing inputs only).  With
   /// `uniform_stimulus` every lane draws from the base seed (fault-sim
   /// mode); otherwise lane j draws from lane_seed(seed, j).
   BatchInputLp(std::vector<FanoutPort> fanouts, warped::SimTime period,
                warped::SimTime delay, std::uint64_t seed,
                std::uint32_t lanes, bool uniform_stimulus = false,
                warped::SimTime drift_at = 0, bool hot_first = true,
-               std::uint64_t sa_mask = 0, std::uint64_t sa_value = 0,
-               bool observe = false);
+               std::vector<std::uint64_t> sa_mask = {},
+               std::vector<std::uint64_t> sa_value = {}, bool observe = false);
 
   warped::LpState initial_state() const override;
   void init(warped::Context& ctx) override;
   void execute(warped::Context& ctx, warped::EventBatch batch) override;
 
-  /// The packed stimulus word for vector index `n` — per-lane counter
-  /// hashes, identical across rollbacks and node counts.
+  /// Packed stimulus word `word` (lanes [64·word, 64·word+64)) for vector
+  /// index `n` — per-lane counter hashes, identical across rollbacks and
+  /// node counts.
   static std::uint64_t vector_word(std::uint64_t seed, warped::LpId lp,
                                    std::uint64_t n, std::uint32_t lanes,
-                                   bool uniform) noexcept;
+                                   bool uniform,
+                                   std::uint32_t word = 0) noexcept;
 
  private:
   std::vector<FanoutPort> fanouts_;
@@ -266,12 +286,13 @@ class BatchInputLp final : public warped::LogicalProcess {
   warped::SimTime delay_;
   std::uint64_t seed_;
   std::uint32_t lanes_;
-  std::uint64_t lane_mask_;
+  std::uint32_t words_;
+  std::uint64_t active_[kMaxLaneWords];
   bool uniform_;
   warped::SimTime drift_at_ = 0;
   bool hot_first_ = true;
-  std::uint64_t sa_mask_;
-  std::uint64_t sa_value_;
+  std::uint64_t sa_mask_[kMaxLaneWords];
+  std::uint64_t sa_value_[kMaxLaneWords];
   bool observe_;
 };
 

@@ -94,6 +94,36 @@ class SeqContext final : public warped::Context {
     if (target != self_) (*sends_)[self_] += std::popcount(mask);
   }
 
+  void send_wide(LpId target, SimTime recv_time, std::uint32_t port,
+                 const std::uint64_t* values, const std::uint64_t* masks,
+                 std::uint32_t k) override {
+    if (k == 1) {
+      send(target, recv_time, port, values[0], masks[0]);
+      return;
+    }
+    PLS_CHECK_MSG(init_mode_ ? recv_time >= now_ : recv_time > now_,
+                  "sequential send not after now");
+    Event ev;
+    ev.recv_time = recv_time;
+    ev.send_time = now_;
+    ev.target = target;
+    ev.sender = self_;
+    ev.port = port;
+    ev.widen(k);
+    for (std::uint32_t w = 0; w < k; ++w) {
+      ev.set_value_word(w, values[w]);
+      ev.set_mask_word(w, masks[w]);
+    }
+    ev.id = (*lps_)[self_].next_id++;
+    (*lps_)[target].insert(ev);
+    sched_->push(SchedEntry{recv_time, target});
+    if (target != self_) {
+      for (std::uint32_t w = 0; w < k; ++w) {
+        (*sends_)[self_] += std::popcount(masks[w]);
+      }
+    }
+  }
+
  private:
   SimTime now_ = 0;
   SimTime end_;
@@ -121,6 +151,7 @@ SeqStats simulate_sequential(const std::vector<warped::LogicalProcess*>& lps,
 
   SeqStats out;
   out.per_lp_events.assign(lps.size(), 0);
+  out.per_lp_lane_work.assign(lps.size(), 0);
   out.per_lp_sends.assign(lps.size(), 0);
 
   SeqContext ctx(end_time, &queues, &states, &sched, &out.per_lp_sends);
@@ -142,6 +173,7 @@ SeqStats simulate_sequential(const std::vector<warped::LogicalProcess*>& lps,
     const SimTime t = top.time;
     batch.clear();
     while (q.has_pending() && q.queue[q.head].recv_time == t) {
+      out.per_lp_lane_work[top.lp] += q.queue[q.head].mask_popcount();
       batch.push_back(q.queue[q.head]);
       ++q.head;
     }

@@ -20,13 +20,19 @@ struct SeqStats {
   std::uint64_t events_processed = 0;  ///< every event is committed
   double wall_seconds = 0.0;
   std::vector<warped::LpState> final_states;
-  std::vector<std::uint64_t> per_lp_events;  ///< events received — the
-                                             ///< *work* profile source
-  /// Non-self ctx.send() calls per LP (≈ output transitions × fanout
-  /// degree) — the *traffic* profile source: a gate that evaluates often
-  /// but rarely toggles receives many events yet sends few, and only
-  /// sends cross node boundaries.  Self-sends (clock/stimulus ticks) are
-  /// excluded; they never leave the LP.
+  std::vector<std::uint64_t> per_lp_events;  ///< events received
+  /// Lane transitions received per LP: popcount over the change masks of
+  /// every event executed there (ticks weigh their scalar mask = 1).
+  /// This is the lane-aware *work* profile source — a batched event that
+  /// toggles 40 lanes is 40 lane-evaluations of downstream work, not one.
+  /// Equals per_lp_events on scalar (lanes = 1) runs, where every mask
+  /// has exactly one bit.
+  std::vector<std::uint64_t> per_lp_lane_work;
+  /// Non-self ctx.send() lane transitions per LP (≈ output transitions ×
+  /// fanout degree) — the *traffic* profile source: a gate that evaluates
+  /// often but rarely toggles receives many events yet sends few, and
+  /// only sends cross node boundaries.  Self-sends (clock/stimulus
+  /// ticks) are excluded; they never leave the LP.
   std::vector<std::uint64_t> per_lp_sends;
 };
 

@@ -1,0 +1,145 @@
+#pragma once
+// mem::Words — a value-semantic buffer of uint64 lane words backed by the
+// thread's arena pool (pool.hpp).
+//
+// This is the width-parameterized storage the whole event/state path
+// flows through: an LP state's wide words, an event's multi-word payload
+// extension, and every snapshot copy of either.  Two properties matter:
+//
+//   * 16 bytes, one word inline: size <= 1 never allocates, so scalar
+//     LPs (empty state extension) and 64-lane events (no extension) have
+//     zero allocation traffic — copies are two-word memcpys.
+//   * larger sizes draw a pooled block from the current thread's arena
+//     (heap fallback when none is installed) and release it through
+//     free_words, which honours an active ReclaimScope — so a fossil
+//     sweep reclaims a whole run of payloads with one splice per owner.
+//
+// Not thread-safe; a Words value may migrate between threads (events do)
+// and its block then frees remotely through the owner pool's lock-free
+// stack.  Capacity is the size-class capacity, but size is exact and
+// equality compares exact sizes — Words(3) != Words(4) even though both
+// occupy one 6-word block.
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "mem/pool.hpp"
+
+namespace pls::mem {
+
+class Words {
+ public:
+  Words() noexcept = default;
+  explicit Words(std::uint32_t n, std::uint64_t fill = 0) { assign(n, fill); }
+
+  Words(const Words& o) { copy_from(o); }
+  Words(Words&& o) noexcept : size_(o.size_), inl_(o.inl_) {
+    o.size_ = 0;
+    o.inl_ = 0;
+  }
+  Words& operator=(const Words& o) {
+    if (this == &o) return *this;
+    // Equal sizes share a size class: overwrite in place.  This keeps
+    // rollback's state restores allocation-free.
+    if (size_ == o.size_) {
+      std::memcpy(data(), o.data(), std::size_t{size_} * 8);
+      return *this;
+    }
+    release();
+    copy_from(o);
+    return *this;
+  }
+  Words& operator=(Words&& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    size_ = o.size_;
+    inl_ = o.inl_;
+    o.size_ = 0;
+    o.inl_ = 0;
+    return *this;
+  }
+  ~Words() { release(); }
+
+  std::uint32_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::uint64_t* data() noexcept { return size_ <= 1 ? &inl_ : ext_; }
+  const std::uint64_t* data() const noexcept {
+    return size_ <= 1 ? &inl_ : ext_;
+  }
+
+  std::uint64_t& operator[](std::size_t i) noexcept { return data()[i]; }
+  std::uint64_t operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  /// Bounds-asserted access (vector::at shape, minus the exception).
+  std::uint64_t& at(std::size_t i) noexcept {
+    assert(i < size_);
+    return data()[i];
+  }
+  std::uint64_t at(std::size_t i) const noexcept {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  std::uint64_t* begin() noexcept { return data(); }
+  std::uint64_t* end() noexcept { return data() + size_; }
+  const std::uint64_t* begin() const noexcept { return data(); }
+  const std::uint64_t* end() const noexcept { return data() + size_; }
+
+  /// vector::assign shape: exact-size fill; reuses the block when the
+  /// size already matches.
+  void assign(std::uint32_t n, std::uint64_t fill = 0) {
+    if (size_ != n) {
+      release();
+      size_ = n;
+      if (n > 1) ext_ = alloc_words(n);
+    }
+    // Branch on the storage kind directly (not through data()) so the
+    // n >= 2 fill never names the one-word inline member — GCC's
+    // -Warray-bounds otherwise flags the dead inline branch.
+    if (n <= 1) {
+      inl_ = fill;
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) ext_[i] = fill;
+    }
+  }
+
+  /// Exact resize preserving the common prefix; growth zero-fills.
+  void resize(std::uint32_t n) {
+    if (n == size_) return;
+    Words next(n, 0);
+    const std::uint32_t keep = n < size_ ? n : size_;
+    std::memcpy(next.data(), data(), std::size_t{keep} * 8);
+    *this = static_cast<Words&&>(next);
+  }
+
+  friend bool operator==(const Words& a, const Words& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    return a.size_ == 0 ||
+           std::memcmp(a.data(), b.data(), std::size_t{a.size_} * 8) == 0;
+  }
+
+ private:
+  void copy_from(const Words& o) {
+    size_ = o.size_;
+    if (size_ > 1) {
+      ext_ = alloc_words(size_);
+      std::memcpy(ext_, o.ext_, std::size_t{size_} * 8);
+    } else {
+      inl_ = o.inl_;
+    }
+  }
+  void release() noexcept {
+    if (size_ > 1) free_words(ext_);
+  }
+
+  std::uint32_t size_ = 0;
+  union {
+    std::uint64_t inl_ = 0;
+    std::uint64_t* ext_;
+  };
+};
+static_assert(sizeof(Words) == 16);
+
+}  // namespace pls::mem

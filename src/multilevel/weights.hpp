@@ -16,6 +16,15 @@
 //               coarsening keeps busy signals inside globules and
 //               refinement prices cuts by real message counts (paper §6).
 //
+// On batched (multi-lane) runs both signals are lane-aware: the work
+// profile counts committed lane *transitions* (the popcount of each
+// event's change mask, summed over all value words — see
+// logicsim::ActivityProfile and RunStats::lane_work_committed), not raw
+// event counts.  A gate whose inputs toggle across 128 lanes costs
+// proportionally more CPU per event than one toggling a single lane, and
+// the weights price that; on scalar runs every mask popcount is 1, so the
+// two definitions coincide and nothing changes.
+//
 // Two invariants make the weighted path a strict superset of the
 // unweighted one (property-tested in multilevel_core_test):
 //   * vertex maps mean activity (1.0) to exactly 1, so a uniform profile

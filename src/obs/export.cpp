@@ -164,6 +164,7 @@ void write_perfetto_trace(std::ostream& os, const ObsSession& session) {
       counter(j, (prefix + "window").c_str(), n, ts_us, g.window);
       counter(j, (prefix + "live").c_str(), n, ts_us, g.live_entries);
       counter(j, (prefix + "holding").c_str(), n, ts_us, g.holding_events);
+      counter(j, (prefix + "pool_bytes").c_str(), n, ts_us, g.pool_bytes);
     }
   }
   j.end_array();
@@ -198,6 +199,7 @@ void write_metrics_csv(std::ostream& os, const ObsSession& session) {
       os << t << ',' << n << ",window," << g.window << "\n";
       os << t << ',' << n << ",live," << g.live_entries << "\n";
       os << t << ',' << n << ",holding," << g.holding_events << "\n";
+      os << t << ',' << n << ",pool_bytes," << g.pool_bytes << "\n";
     }
   }
 }
@@ -226,6 +228,7 @@ void write_metrics_json(std::ostream& os, const ObsSession& session) {
       j.kv("window", g.window);
       j.kv("live", g.live_entries);
       j.kv("holding", g.holding_events);
+      j.kv("pool_bytes", g.pool_bytes);
       j.end_object();
     }
     j.end_array();

@@ -29,6 +29,7 @@ struct alignas(64) NodeGauges {
   std::atomic<std::uint64_t> window{0};             ///< current throttle window
   std::atomic<std::uint64_t> live_entries{0};       ///< current live events
   std::atomic<std::uint64_t> holding_events{0};     ///< modeled-network queue
+  std::atomic<std::uint64_t> pool_bytes{0};         ///< arena slab bytes
 };
 
 /// One sampler tick: wall-clock offset, the global GVT, and every node's
@@ -44,6 +45,7 @@ struct MetricsSample {
     std::uint64_t window = 0;
     std::uint64_t live_entries = 0;
     std::uint64_t holding_events = 0;
+    std::uint64_t pool_bytes = 0;
   };
   std::vector<Node> nodes;
 };

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -80,6 +81,7 @@ struct MigrationMsg {
   std::uint64_t max_rollback_depth = 0;
   std::uint64_t events_committed = 0;
   std::uint64_t sends_committed = 0;
+  std::uint64_t lane_work_committed = 0;
 };
 
 /// A message in flight: deliverable once wall-clock `deliver_at_ns`
@@ -120,6 +122,10 @@ class Mailbox {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::size_t n = box_.size();
     if (n != 0) {
+      // Reserve up front: a piecemeal grow inside the move-insert would
+      // re-move every InFlight already drained while the senders wait on
+      // the mailbox mutex.
+      out.reserve(out.size() + n);
       out.insert(out.end(), std::make_move_iterator(box_.begin()),
                  std::make_move_iterator(box_.end()));
       box_.clear();
@@ -145,12 +151,16 @@ class Mailbox {
 };
 
 /// Min-heap (by delivery deadline) of in-flight messages held at the
-/// receiver until their deadline passes.  Hand-rolled over a vector so the
-/// GVT report can scan the live entries for their minimum receive
-/// timestamp (std::priority_queue hides its container).
+/// receiver until their deadline passes.  Hand-rolled over a vector, with
+/// the minimum receive timestamp maintained *incrementally* in a counted
+/// multiset mirror: every GVT report needs min_recv_time(), and the old
+/// O(n) scan per report dominated GVT cost on latency-bound runs.  Push
+/// and pop pay O(log n) on the mirror; the report reads the smallest key
+/// in O(1).
 class HoldingHeap {
  public:
   void push(InFlight msg) {
+    ++recv_times_[msg.event.recv_time];
     heap_.push_back(std::move(msg));
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
@@ -164,6 +174,8 @@ class HoldingHeap {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     InFlight msg = std::move(heap_.back());
     heap_.pop_back();
+    const auto it = recv_times_.find(msg.event.recv_time);
+    if (--it->second == 0) recv_times_.erase(it);
     return msg;
   }
 
@@ -175,13 +187,13 @@ class HoldingHeap {
   /// Minimum receive timestamp over all held messages (kEndOfTime if
   /// empty); exact, owner-thread only — feeds the owner's GVT report.
   SimTime min_recv_time() const noexcept {
-    SimTime m = kEndOfTime;
-    for (const auto& f : heap_) m = std::min(m, f.event.recv_time);
-    return m;
+    return recv_times_.empty() ? kEndOfTime : recv_times_.begin()->first;
   }
 
  private:
   std::vector<InFlight> heap_;
+  /// recv_time -> number of held messages carrying it (ordered).
+  std::map<SimTime, std::uint32_t> recv_times_;
 };
 
 }  // namespace pls::warped

@@ -44,13 +44,19 @@ struct Kernel::Cluster {
 
   // LTSF scheduler: lazy min-heap over (next pending time, lp).  Entries
   // go stale when an LP's next_time changes; clean_top() discards them.
+  // `sched_mark[lp]` is the time of the LP's single *live* entry
+  // (kEndOfTime = none): pushes that would duplicate it are skipped and a
+  // surfacing entry whose time differs from the mark is dropped dead
+  // instead of corrected-and-re-pushed.  Without the marks an always-busy
+  // LP (every batch schedules the next) grows the heap by O(1) entries
+  // per batch forever and clean_top degenerates quadratically.
   std::vector<SchedEntry> sched;
+  std::vector<SimTime> sched_mark;
 
   Mailbox mailbox;
   HoldingHeap holding;
   std::vector<InFlight> drain_buf;
   std::deque<Event> pending;  ///< routing work queue (FIFO per channel)
-  std::vector<Event> batch_scratch;
   std::uint64_t net_seq = 0;
 
   // GVT round this node has joined (epoch color of its sends).
@@ -89,6 +95,10 @@ struct Kernel::Cluster {
   // `gauges` the atomic mirrors the background sampler reads.
   obs::TraceRing* trace = nullptr;
   obs::NodeGauges* gauges = nullptr;
+  /// This node's arena (mem/pool.hpp); installed as the thread's current
+  /// pool for the whole node_main loop, so every wide event payload or
+  /// state word allocated here is node-local.
+  mem::Pool* pool = nullptr;
   /// Throttle-trajectory entries already traced.
   std::size_t traced_decisions = 0;
 
@@ -119,10 +129,15 @@ struct Kernel::Cluster {
   std::atomic<bool> window_blocked{false};
 
   void push_sched(SimTime t, LpId lp) {
-    if (t != kEndOfTime) {
-      sched.push_back(SchedEntry{t, lp});
-      std::push_heap(sched.begin(), sched.end(), std::greater<>{});
-    }
+    if (t == kEndOfTime || sched_mark[lp] == t) return;
+    sched_mark[lp] = t;
+    sched.push_back(SchedEntry{t, lp});
+    std::push_heap(sched.begin(), sched.end(), std::greater<>{});
+  }
+
+  void pop_sched() {
+    std::pop_heap(sched.begin(), sched.end(), std::greater<>{});
+    sched.pop_back();
   }
 
   /// Discard stale heap entries; afterwards the top (if any) is exact.
@@ -132,14 +147,20 @@ struct Kernel::Cluster {
     while (!sched.empty()) {
       const SchedEntry top = sched.front();
       if (!installed[top.lp]) {
-        std::pop_heap(sched.begin(), sched.end(), std::greater<>{});
-        sched.pop_back();
+        pop_sched();
+        sched_mark[top.lp] = kEndOfTime;
+        continue;
+      }
+      if (top.time != sched_mark[top.lp]) {
+        // Superseded duplicate: the LP's live entry is elsewhere (or was
+        // re-marked); this one dies here instead of being re-pushed.
+        pop_sched();
         continue;
       }
       const SimTime actual = rts[top.lp].next_time();
       if (actual == top.time) return;
-      std::pop_heap(sched.begin(), sched.end(), std::greater<>{});
-      sched.pop_back();
+      pop_sched();
+      sched_mark[top.lp] = kEndOfTime;
       push_sched(actual, top.lp);
     }
   }
@@ -196,6 +217,36 @@ class ClusterContext final : public Context {
     out_->push_back(ev);
   }
 
+  void send_wide(LpId target, SimTime recv_time, std::uint32_t port,
+                 const std::uint64_t* values, const std::uint64_t* masks,
+                 std::uint32_t k) override {
+    if (k == 1) {
+      send(target, recv_time, port, values[0], masks[0]);
+      return;
+    }
+    PLS_CHECK_MSG(init_mode_ ? recv_time >= now_ : recv_time > now_,
+                  "LP " << self_ << " scheduled an event at " << recv_time
+                        << " not after now=" << now_);
+    PLS_CHECK_MSG(recv_time <= end_ || recv_time == kEndOfTime,
+                  "LP " << self_ << " scheduled beyond the end time");
+    if (suppress_) return;
+    Event ev;
+    ev.recv_time = recv_time;
+    ev.send_time = now_;
+    ev.target = target;
+    ev.sender = self_;
+    ev.port = port;
+    ev.sign = Sign::kPositive;
+    ev.widen(k);
+    for (std::uint32_t w = 0; w < k; ++w) {
+      ev.set_value_word(w, values[w]);
+      ev.set_mask_word(w, masks[w]);
+    }
+    ev.id = rt_->alloc_event_id();
+    rt_->record_output(ev);
+    out_->push_back(ev);
+  }
+
  private:
   SimTime now_;
   SimTime end_;
@@ -216,6 +267,10 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
   PLS_CHECK_MSG(lps_.size() == node_of_.size(),
                 "node map size must equal LP count");
   PLS_CHECK_MSG(!lps_.empty(), "kernel needs at least one LP");
+  pools_.reserve(cfg_.num_nodes);
+  for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
+    pools_.push_back(std::make_unique<mem::Pool>());
+  }
   runtimes_.reserve(lps_.size());
   for (LpId i = 0; i < lps_.size(); ++i) {
     PLS_CHECK_MSG(lps_[i] != nullptr, "null LP behaviour");
@@ -236,6 +291,7 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
     clusters_.push_back(std::make_unique<Cluster>());
     clusters_.back()->node = n;
     clusters_.back()->throttle = OptimismThrottle(cfg_.throttle, base_window);
+    clusters_.back()->pool = pools_[n].get();
   }
   for (LpId i = 0; i < lps_.size(); ++i) {
     clusters_[node_of_[i]]->own_lps.push_back(i);
@@ -251,6 +307,7 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
   for (auto& cl : clusters_) {
     cl->installed.assign(lps_.size(), 0);
     cl->live_of.assign(lps_.size(), 0);
+    cl->sched_mark.assign(lps_.size(), kEndOfTime);
   }
   if (cfg_.obs != nullptr) {
     PLS_CHECK_MSG(cfg_.obs->num_nodes() >= cfg_.num_nodes,
@@ -268,9 +325,12 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
     pub_committed_ = std::make_unique<std::atomic<std::uint64_t>[]>(
         lps_.size());
     pub_sends_ = std::make_unique<std::atomic<std::uint64_t>[]>(lps_.size());
+    pub_lane_work_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(lps_.size());
     for (LpId i = 0; i < lps_.size(); ++i) {
       pub_committed_[i].store(0, std::memory_order_relaxed);
       pub_sends_[i].store(0, std::memory_order_relaxed);
+      pub_lane_work_[i].store(0, std::memory_order_relaxed);
     }
     plan_ack_ = std::make_unique<std::atomic<std::uint64_t>[]>(
         cfg_.num_nodes);
@@ -314,6 +374,10 @@ void Kernel::node_main(std::uint32_t node) {
   const std::uint64_t latency = cfg_.network.latency_ns;
   // Attribute this thread's log lines (PLS_LOG_TIMESTAMPS=1 shows them).
   util::set_log_thread_tag("node" + std::to_string(node));
+  // Node-local arena for the whole loop: every wide payload this thread
+  // allocates (inserts, snapshots, migration installs) comes from — and
+  // recycles into — this node's pool.
+  mem::PoolScope pool_scope(cl.pool);
 
   // Routes everything in cl.pending: local events are inserted (possibly
   // rolling their LP back, which enqueues cancellation antis right here);
@@ -475,23 +539,23 @@ void Kernel::node_main(std::uint32_t node) {
       }
       LpRuntime& rt = runtimes_[top.lp];
       const std::uint64_t tb0 = cl.trace != nullptr ? steady_now_ns() : 0;
-      const SimTime t = rt.begin_batch(cl.batch_scratch);
+      SimTime t = 0;
+      const EventBatch batch = rt.begin_batch(t);
       const bool replay = rt.in_replay(t);
       ClusterContext ctx(t, end, top.lp, &rt, &cl.pending, replay,
                          /*init_mode=*/false);
-      rt.behavior()->execute(ctx, cl.batch_scratch);
+      rt.behavior()->execute(ctx, batch);
       if (cfg_.event_cost_ns > 0) util::busy_spin_ns(cfg_.event_cost_ns);
-      rt.commit_batch(t, cl.batch_scratch.size());
+      const std::size_t batch_size = batch.size();
+      rt.commit_batch(t, batch_size);
       if (cl.trace != nullptr) {
         const std::uint64_t tb1 = steady_now_ns();
         cl.trace->record(obs::TraceKind::kExecBatch, tb0,
-                         tb1 > tb0 ? tb1 - tb0 : 1, cl.batch_scratch.size(),
-                         t, top.lp);
+                         tb1 > tb0 ? tb1 - tb0 : 1, batch_size, t, top.lp);
       }
       cl.note_live(runtimes_, top.lp);
-      cl.stats.events_processed += cl.batch_scratch.size();
-      cl.throttle.note_executed(cl.batch_scratch.size(),
-                                t > gvt_now ? t - gvt_now : 0);
+      cl.stats.events_processed += batch_size;
+      cl.throttle.note_executed(batch_size, t > gvt_now ? t - gvt_now : 0);
       cl.exec_ticks.fetch_add(1, std::memory_order_relaxed);
       cl.push_sched(rt.next_time(), top.lp);
       route_pending();
@@ -518,6 +582,8 @@ void Kernel::node_main(std::uint32_t node) {
       g.window.store(cl.throttle.window(), std::memory_order_relaxed);
       g.live_entries.store(cl.live_now, std::memory_order_relaxed);
       g.holding_events.store(cl.holding.size(), std::memory_order_relaxed);
+      g.pool_bytes.store(cl.pool->snapshot().slab_bytes,
+                         std::memory_order_relaxed);
     }
     if (executed) {
       ++cl.stats.exec_polls;
@@ -667,11 +733,14 @@ void Kernel::maybe_repartition(SimTime gvt_now, std::uint64_t round) {
   req.current.resize(lps_.size());
   req.events_committed.resize(lps_.size());
   req.sends_committed.resize(lps_.size());
+  req.lane_work_committed.resize(lps_.size());
   for (LpId i = 0; i < lps_.size(); ++i) {
     req.current[i] = route_[i].load(std::memory_order_relaxed);
     req.events_committed[i] =
         pub_committed_[i].load(std::memory_order_relaxed);
     req.sends_committed[i] = pub_sends_[i].load(std::memory_order_relaxed);
+    req.lane_work_committed[i] =
+        pub_lane_work_[i].load(std::memory_order_relaxed);
   }
   const std::vector<std::uint32_t> next = cfg_.repartition_hook(req);
   if (next.empty()) {
@@ -742,6 +811,8 @@ void Kernel::emigrate_planned(Cluster& cl) {
       pub_committed_[lp].store(rt.events_committed(),
                                std::memory_order_relaxed);
       pub_sends_[lp].store(rt.sends_committed(), std::memory_order_relaxed);
+      pub_lane_work_[lp].store(rt.lane_work_committed(),
+                               std::memory_order_relaxed);
     }
     // 3. Flip the route *before* shipping: from here on every sender
     //    forwards to the destination, where events queue in limbo until
@@ -834,6 +905,8 @@ void Kernel::fossil_round(Cluster& cl) {
                                std::memory_order_relaxed);
       pub_sends_[lp].store(runtimes_[lp].sends_committed(),
                            std::memory_order_relaxed);
+      pub_lane_work_[lp].store(runtimes_[lp].lane_work_committed(),
+                               std::memory_order_relaxed);
     }
   }
   cl.stats.events_committed += committed;
@@ -1066,20 +1139,21 @@ RunStats Kernel::run() {
     // installed a moment ago is already in its destination's own_lps, but
     // scanning the table directly is immune to cluster bookkeeping).
     std::deque<Event> sink;
-    std::vector<Event> scratch;
     for (LpId lp = 0; lp < runtimes_.size(); ++lp) {
       LpRuntime& rt = runtimes_[lp];
       Cluster& owner = *clusters_[route_[lp].load(std::memory_order_relaxed)];
       while (rt.has_unprocessed()) {
-        const SimTime t = rt.begin_batch(scratch);
+        SimTime t = 0;
+        const EventBatch batch = rt.begin_batch(t);
         PLS_CHECK_MSG(rt.in_replay(t),
                       "LP " << lp << " still holds an effectful event at "
                             << t << " after termination (unsound GVT)");
         ClusterContext ctx(t, cfg_.end_time, lp, &rt, &sink,
                            /*suppress=*/true, /*init_mode=*/false);
-        rt.behavior()->execute(ctx, scratch);
-        rt.commit_batch(t, scratch.size());
-        owner.stats.events_processed += scratch.size();
+        rt.behavior()->execute(ctx, batch);
+        const std::size_t batch_size = batch.size();
+        rt.commit_batch(t, batch_size);
+        owner.stats.events_processed += batch_size;
       }
     }
     PLS_CHECK_MSG(sink.empty(), "suppressed replay produced a send");
@@ -1104,6 +1178,10 @@ RunStats Kernel::run() {
     const ThrottleSummary ts = cl.throttle.summary();
     cl.stats.throttle_shrinks = ts.shrinks;
     cl.stats.throttle_grows = ts.grows;
+    const mem::PoolStats ps = cl.pool->snapshot();
+    cl.stats.pool_slab_bytes = ps.slab_bytes;
+    cl.stats.pool_blocks_recycled = ps.recycled;
+    cl.stats.pool_heap_fallbacks = ps.heap_fallbacks;
     out.per_node[n] = cl.stats;
     out.totals.merge(cl.stats);
     out.throttle.push_back(ThrottleTrace{ts, cl.throttle.trajectory()});
@@ -1117,6 +1195,7 @@ RunStats Kernel::run() {
     ls.events_rolled_back = rt.events_rolled_back();
     ls.events_committed = rt.events_committed();
     ls.sends_committed = rt.sends_committed();
+    ls.lane_work_committed = rt.lane_work_committed();
     ls.rollbacks = rt.rollbacks();
     ls.max_rollback_depth = rt.max_rollback_depth();
     out.per_lp.push_back(ls);

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "mem/pool.hpp"
 #include "warped/comm.hpp"
 #include "warped/gvt.hpp"
 #include "warped/lp.hpp"
@@ -44,6 +45,9 @@ struct RepartitionRequest {
   std::vector<std::uint32_t> current;         ///< live LP→node assignment
   std::vector<std::uint64_t> events_committed;  ///< per-LP, cumulative
   std::vector<std::uint64_t> sends_committed;   ///< per-LP, cumulative
+  /// Per-LP committed incoming lane transitions (mask popcounts), the
+  /// lane-aware work signal; equals events_committed in single-lane runs.
+  std::vector<std::uint64_t> lane_work_committed;
 };
 
 /// Policy callback for dynamic repartitioning: return the desired LP→node
@@ -148,6 +152,10 @@ class Kernel {
   std::vector<std::uint32_t> node_of_;
   KernelConfig cfg_;
 
+  /// Per-node arenas for wide event payloads and state words.  Declared
+  /// *before* runtimes_ on purpose: members destroy in reverse order, so
+  /// every pooled block held by a runtime is freed before its pool dies.
+  std::vector<std::unique_ptr<mem::Pool>> pools_;  // indexed by node
   std::vector<LpRuntime> runtimes_;          // indexed by LpId
   std::vector<std::unique_ptr<Cluster>> clusters_;  // indexed by node
 
@@ -175,6 +183,7 @@ class Kernel {
   /// controller can snapshot live activity without touching peer LPs.
   std::unique_ptr<std::atomic<std::uint64_t>[]> pub_committed_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> pub_sends_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> pub_lane_work_;
   /// Current migration plan: written by the controller strictly before the
   /// plan_version_ bump (release); nodes read it after observing a new
   /// version (acquire).  Never rewritten while migrations_outstanding_ > 0.

@@ -1,0 +1,12 @@
+#include "warped/lp.hpp"
+
+#include "util/check.hpp"
+
+namespace pls::warped {
+
+void Context::on_unsupported_wide_send() {
+  PLS_CHECK_MSG(false,
+                "multi-word send on a context without wide-send support");
+}
+
+}  // namespace pls::warped

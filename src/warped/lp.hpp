@@ -41,10 +41,29 @@ class Context {
   virtual void send(LpId target, SimTime recv_time, std::uint32_t port,
                     std::uint64_t value, std::uint64_t mask = 1) = 0;
 
+  /// Multi-word send (lanes > 64): `values[0..k)` are the payload words
+  /// and `masks[0..k)` the per-word change masks; at least one mask word
+  /// must be non-zero.  k == 1 is exactly send().  Contexts that host
+  /// multi-word models override this; the default forwards single words
+  /// and rejects wider payloads.
+  virtual void send_wide(LpId target, SimTime recv_time, std::uint32_t port,
+                         const std::uint64_t* values,
+                         const std::uint64_t* masks, std::uint32_t k) {
+    if (k == 1) {
+      send(target, recv_time, port, values[0], masks[0]);
+      return;
+    }
+    on_unsupported_wide_send();
+  }
+
   /// Schedule a tick to self at `recv_time` (> now()).
   void schedule_self(SimTime recv_time, std::uint64_t value = 0) {
     send(self(), recv_time, kTickPort, value);
   }
+
+ protected:
+  /// [[noreturn]] check failure for contexts without wide-send support.
+  static void on_unsupported_wide_send();
 };
 
 /// An event batch: all positive events for one LP sharing one receive time.

@@ -1,8 +1,8 @@
 #include "warped/lp_runtime.hpp"
 
 #include <algorithm>
-#include <bit>
 
+#include "mem/pool.hpp"
 #include "util/check.hpp"
 
 namespace pls::warped {
@@ -22,11 +22,27 @@ void LpRuntime::install_initial_state(const LpState& s) {
 
 std::size_t LpRuntime::first_at_or_after(SimTime t) const {
   // Compare on receive time only: rollback/fossil boundaries are pure
-  // times, and all full-ordering tie fields share recv_time.
+  // times, and all full-ordering tie fields share recv_time.  Index is
+  // relative to the head cursor (live range only — the retired prefix is
+  // committed history no boundary can reach).
+  auto begin = queue_.begin() + static_cast<std::ptrdiff_t>(head_);
   auto it = std::lower_bound(
-      queue_.begin(), queue_.end(), t,
+      begin, queue_.end(), t,
       [](const Event& e, SimTime time) { return e.recv_time < time; });
-  return static_cast<std::size_t>(it - queue_.begin());
+  return static_cast<std::size_t>(it - begin);
+}
+
+void LpRuntime::maybe_compact() {
+  // Amortized O(1): compaction moves the live range once per >= equal
+  // run of retired events.
+  if (head_ >= 64 && head_ * 2 >= queue_.size()) compact();
+}
+
+void LpRuntime::compact() {
+  if (head_ == 0) return;
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+  head_ = 0;
 }
 
 void LpRuntime::rollback(SimTime to_time, InsertResult& res) {
@@ -34,6 +50,10 @@ void LpRuntime::rollback(SimTime to_time, InsertResult& res) {
                 "rollback to time 0 would cancel init-phase sends");
   res.rolled_back = true;
   res.rollback_time = to_time;
+
+  // Discarded snapshots and cancelled outputs release their pooled words
+  // as one batched run.
+  mem::ReclaimScope reclaim;
 
   // 1. Restore the latest snapshot strictly before to_time.  With periodic
   // state saving the snapshot may be several batches back; the batches in
@@ -86,7 +106,7 @@ void LpRuntime::rollback(SimTime to_time, InsertResult& res) {
   for (auto it = out; it != output_queue_.end(); ++it) {
     Event anti = *it;
     anti.sign = Sign::kNegative;
-    res.antis.push_back(anti);
+    res.antis.push_back(std::move(anti));
   }
   output_queue_.erase(out, output_queue_.end());
 
@@ -100,9 +120,10 @@ LpRuntime::InsertResult LpRuntime::insert(const Event& ev) {
   if (ev.sign == Sign::kNegative) {
     // Annihilate the positive twin.
     const std::size_t from = first_at_or_after(ev.recv_time);
-    for (std::size_t i = from; i < queue_.size(); ++i) {
-      if (queue_[i].recv_time != ev.recv_time) break;
-      if (queue_[i].sign == Sign::kPositive && queue_[i].matches(ev)) {
+    for (std::size_t i = from; head_ + i < queue_.size(); ++i) {
+      const Event& cand = queue_[head_ + i];
+      if (cand.recv_time != ev.recv_time) break;
+      if (cand.sign == Sign::kPositive && cand.matches(ev)) {
         if (i < processed_count_ || ev.recv_time < replay_until_) {
           // The twin's effects are visible (executed, or baked into
           // still-valid outputs of the replay window): secondary rollback
@@ -111,10 +132,11 @@ LpRuntime::InsertResult LpRuntime::insert(const Event& ev) {
           rollback(ev.recv_time, res);
         }
         const std::size_t j = first_at_or_after(ev.recv_time);
-        for (std::size_t p = j; p < queue_.size(); ++p) {
-          if (queue_[p].recv_time != ev.recv_time) break;
-          if (queue_[p].matches(ev)) {
-            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(p));
+        for (std::size_t p = j; head_ + p < queue_.size(); ++p) {
+          if (queue_[head_ + p].recv_time != ev.recv_time) break;
+          if (queue_[head_ + p].matches(ev)) {
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(head_ + p));
             return res;
           }
         }
@@ -146,28 +168,39 @@ LpRuntime::InsertResult LpRuntime::insert(const Event& ev) {
     rollback(ev.recv_time, res);
   }
 
-  const auto pos = std::lower_bound(queue_.begin(), queue_.end(), ev);
-  PLS_CHECK_MSG(
-      static_cast<std::size_t>(pos - queue_.begin()) >= processed_count_,
-      "event insertion inside the processed prefix after rollback");
-  queue_.insert(pos, ev);
+  // Fast path: events arriving in queue order append in O(1).  This is
+  // the steady state of the committed path (a gate's inputs arrive in
+  // time order), and it skips the lower_bound entirely.
+  if (queue_.empty() || queue_.back() < ev) {
+    queue_.push_back(ev);
+    return res;
+  }
+  const std::size_t at = head_ + [&] {
+    auto begin = queue_.begin() + static_cast<std::ptrdiff_t>(head_);
+    return static_cast<std::size_t>(
+        std::lower_bound(begin, queue_.end(), ev) - begin);
+  }();
+  PLS_CHECK_MSG(at - head_ >= processed_count_,
+                "event insertion inside the processed prefix after rollback");
+  queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(at), ev);
   return res;
 }
 
-SimTime LpRuntime::begin_batch(std::vector<Event>& out) const {
+EventBatch LpRuntime::begin_batch(SimTime& batch_time) const {
   PLS_CHECK_MSG(has_unprocessed(), "begin_batch with empty pending queue");
-  const SimTime t = queue_[processed_count_].recv_time;
-  out.clear();
-  for (std::size_t i = processed_count_;
-       i < queue_.size() && queue_[i].recv_time == t; ++i) {
-    out.push_back(queue_[i]);
+  const std::size_t first = head_ + processed_count_;
+  const SimTime t = queue_[first].recv_time;
+  std::size_t last = first;
+  while (last + 1 < queue_.size() && queue_[last + 1].recv_time == t) {
+    ++last;
   }
-  return t;
+  batch_time = t;
+  return {queue_.data() + first, last - first + 1};
 }
 
 void LpRuntime::commit_batch(SimTime batch_time, std::size_t batch_size) {
   PLS_CHECK(batch_size > 0);
-  PLS_CHECK(processed_count_ + batch_size <= queue_.size());
+  PLS_CHECK(head_ + processed_count_ + batch_size <= queue_.size());
   PLS_CHECK_MSG(!processed_any_ || batch_time > last_processed_,
                 "batches must commit in increasing time order");
   processed_count_ += batch_size;
@@ -192,6 +225,11 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
   FossilResult res;
   if (gvt == 0) return res;
 
+  // Everything this sweep discards — retired event payloads, cancelled
+  // snapshots, committed outputs — flows back to its owner pool as one
+  // batched reclaim run.
+  mem::ReclaimScope reclaim;
+
   // The newest snapshot strictly below GVT is the restore base for every
   // reachable rollback (targets are always >= GVT).  Events at or below
   // the base's time can never be replayed again: commit and discard them.
@@ -207,10 +245,16 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
                   "fossil cut crosses unprocessed events (GVT too high)");
     res.committed_events = cut;
     events_committed_ += cut;
-    queue_.erase(queue_.begin(),
-                 queue_.begin() + static_cast<std::ptrdiff_t>(cut));
+    // Lane-aware work signal: committed incoming lane transitions.
+    for (std::size_t i = 0; i < cut; ++i) {
+      lane_work_committed_ += queue_[head_ + i].mask_popcount();
+    }
+    // Retire (don't erase): the head cursor advances in O(1); compaction
+    // is amortized against the events retired.
+    head_ += cut;
     processed_count_ -= cut;
     snapshots_.erase(snapshots_.begin(), std::prev(snap));
+    maybe_compact();
   }
 
   // Outputs below GVT can never be cancelled (cancellation boundaries are
@@ -220,9 +264,10 @@ LpRuntime::FossilResult LpRuntime::fossil_collect(SimTime gvt) {
       output_queue_.begin(), output_queue_.end(), gvt,
       [](const Event& e, SimTime time) { return e.send_time < time; });
   for (auto it = output_queue_.begin(); it != out; ++it) {
-    // Transition-weighted: a batched event carries popcount(mask) lane
-    // transitions; scalar events keep mask = 1 and count as before.
-    if (it->target != it->sender) sends_committed_ += std::popcount(it->mask);
+    // Transition-weighted: a batched event carries popcount lane
+    // transitions per mask word; scalar events keep mask = 1 and count as
+    // before.
+    if (it->target != it->sender) sends_committed_ += it->mask_popcount();
   }
   output_queue_.erase(output_queue_.begin(), out);
 
@@ -244,6 +289,7 @@ LpRuntime::InsertResult LpRuntime::cancel_uncommitted(SimTime bound) {
 }
 
 void LpRuntime::export_migration(MigrationMsg& msg) {
+  compact();  // drop retired history; the package ships live events only
   msg.lp = id_;
   msg.state = state_;
   msg.initial_state = initial_state_;
@@ -263,10 +309,12 @@ void LpRuntime::export_migration(MigrationMsg& msg) {
   msg.max_rollback_depth = max_rollback_depth_;
   msg.events_committed = events_committed_;
   msg.sends_committed = sends_committed_;
+  msg.lane_work_committed = lane_work_committed_;
   // Leave the husk inert: an empty queue makes next_time()/gvt_min_time()
   // report kEndOfTime and has_unprocessed() false.  The counters remain so
   // an abnormal exit (package never installed) still reads committed work.
   queue_.clear();
+  head_ = 0;
   processed_count_ = 0;
   snapshots_.clear();
   output_queue_.clear();
@@ -282,6 +330,7 @@ void LpRuntime::import_migration(MigrationMsg&& msg) {
   last_processed_ = msg.last_processed;
   processed_any_ = msg.processed_any;
   replay_until_ = msg.replay_until;
+  head_ = 0;
   processed_count_ = msg.processed_count;
   batches_since_snapshot_ = msg.batches_since_snapshot;
   queue_ = std::move(msg.queue);
@@ -295,19 +344,26 @@ void LpRuntime::import_migration(MigrationMsg&& msg) {
   max_rollback_depth_ = msg.max_rollback_depth;
   events_committed_ = msg.events_committed;
   sends_committed_ = msg.sends_committed;
+  lane_work_committed_ = msg.lane_work_committed;
 }
 
 std::uint64_t LpRuntime::finalize() {
+  mem::ReclaimScope reclaim;
   const auto committed = static_cast<std::uint64_t>(processed_count_);
   events_committed_ += committed;
+  for (std::size_t i = 0; i < processed_count_; ++i) {
+    lane_work_committed_ += queue_[head_ + i].mask_popcount();
+  }
   // Nothing can be cancelled after termination: the outputs that survived
   // the last fossil pass are committed sends too (non-self, as above).
   for (const Event& ev : output_queue_) {
-    if (ev.target != ev.sender) sends_committed_ += std::popcount(ev.mask);
+    if (ev.target != ev.sender) sends_committed_ += ev.mask_popcount();
   }
   output_queue_.clear();
   queue_.erase(queue_.begin(),
-               queue_.begin() + static_cast<std::ptrdiff_t>(processed_count_));
+               queue_.begin() +
+                   static_cast<std::ptrdiff_t>(head_ + processed_count_));
+  head_ = 0;
   processed_count_ = 0;
   return committed;
 }

@@ -8,8 +8,14 @@
 // unit-tested deterministically (tests/warped_lp_runtime_test.cpp).
 //
 // Queue discipline (classic Jefferson Time Warp, WARPED flavour):
-//  * input queue = one sorted vector; a prefix of `processed_count` events
-//    has been executed, the suffix is pending.
+//  * input queue = one sorted vector with a retired-prefix head cursor;
+//    of the live range a prefix of `processed_count` events has been
+//    executed, the suffix is pending.  In-order arrivals append in O(1)
+//    (the common case on the committed path); fossil collection *retires*
+//    the committed prefix by advancing the head cursor in O(1) and
+//    compacts only when the retired range outgrows the live one, so the
+//    amortized fossil cost per event is constant instead of a memmove of
+//    the whole queue per sweep.
 //  * copy state saving after every `state_period`-th executed batch (all
 //    events sharing one receive time execute as one batch); period 1 is
 //    the classic copy-state-every-event discipline.
@@ -25,8 +31,13 @@
 //    mark [snapshot, T) for *coast-forward replay*: those batches
 //    re-execute with sends suppressed, because their original outputs were
 //    not cancelled and remain valid.
+//  * memory: wide event payloads and state words are arena-pooled
+//    (mem/pool.hpp); fossil sweeps, rollbacks and finalization run under
+//    a mem::ReclaimScope, so each run of discarded payloads goes back to
+//    its owner pool with a single splice.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "warped/comm.hpp"
@@ -61,11 +72,11 @@ class LpRuntime {
   // ---- scheduling --------------------------------------------------------
 
   bool has_unprocessed() const noexcept {
-    return processed_count_ < queue_.size();
+    return head_ + processed_count_ < queue_.size();
   }
   /// Receive time of the next pending batch (kEndOfTime if none).
   SimTime next_time() const noexcept {
-    return has_unprocessed() ? queue_[processed_count_].recv_time
+    return has_unprocessed() ? queue_[head_ + processed_count_].recv_time
                              : kEndOfTime;
   }
   /// Virtual time of the last executed batch (0 before any execution).
@@ -78,10 +89,13 @@ class LpRuntime {
     return batch_time < replay_until_;
   }
 
-  /// Copy out the next batch (all pending events at next_time()).  The
-  /// caller executes the behaviour against state() and then calls
-  /// commit_batch().  Returns the batch time.
-  SimTime begin_batch(std::vector<Event>& out) const;
+  /// The next batch (all pending events at next_time()) as a view into
+  /// the input queue — no copy.  The caller executes the behaviour against
+  /// state() and then calls commit_batch(); the view is invalidated by any
+  /// insert()/rollback on this LP, which the batch-at-a-time discipline
+  /// rules out during execution (sends route only after commit).
+  /// `batch_time` receives the batch's receive time.
+  EventBatch begin_batch(SimTime& batch_time) const;
 
   /// Advance past the batch begin_batch() returned; snapshot the state per
   /// the state-saving period.
@@ -108,10 +122,11 @@ class LpRuntime {
   /// Anti-messages in flight are accounted by the cluster.
   SimTime gvt_min_time() const noexcept {
     if (!has_unprocessed()) return kEndOfTime;
-    const SimTime t = queue_[processed_count_].recv_time;
+    const SimTime t = queue_[head_ + processed_count_].recv_time;
     if (t >= replay_until_) return t;
     const std::size_t i = first_at_or_after(replay_until_);
-    return i < queue_.size() ? queue_[i].recv_time : kEndOfTime;
+    return head_ + i < queue_.size() ? queue_[head_ + i].recv_time
+                                     : kEndOfTime;
   }
 
   struct FossilResult {
@@ -165,11 +180,21 @@ class LpRuntime {
     return events_committed_;
   }
   /// Committed non-self lane transitions: each uncancellable send counts
-  /// popcount(mask) — the per-LP traffic count the activity-guided
-  /// partitioner feeds back (≈ transitions × fanout; self-sends are
-  /// scheduling ticks and excluded).  Scalar events have mask = 1, so this
-  /// is exactly the old committed-send count in single-lane runs.
+  /// popcount over all its mask words — the per-LP traffic count the
+  /// activity-guided partitioner feeds back (≈ transitions × fanout;
+  /// self-sends are scheduling ticks and excluded).  Scalar events have
+  /// mask = 1, so this is exactly the old committed-send count in
+  /// single-lane runs.
   std::uint64_t sends_committed() const noexcept { return sends_committed_; }
+  /// Committed *incoming* lane transitions: popcount over the mask words
+  /// of every committed input event.  This is the lane-aware work signal
+  /// — a gate hot in one lane of 256 no longer weighs like one hot in all
+  /// of them.  Scalar events carry mask = 1, so in single-lane runs this
+  /// equals events_committed() exactly and lane-aware weights degenerate
+  /// to the classic ones.
+  std::uint64_t lane_work_committed() const noexcept {
+    return lane_work_committed_;
+  }
   /// Most events undone by a single rollback — bounds how deep the
   /// optimism ran ahead of this LP's true frontier.
   std::uint64_t max_rollback_depth() const noexcept {
@@ -177,14 +202,18 @@ class LpRuntime {
   }
   /// Live memory footprint in queue entries (input + output + snapshots +
   /// waiting antis); used to emulate the paper's out-of-memory behaviour.
+  /// Retired (fossil-collected, not yet compacted) entries are committed
+  /// history and excluded.
   std::size_t live_entries() const noexcept {
-    return queue_.size() + output_queue_.size() + snapshots_.size() +
-           pending_antis_.size();
+    return (queue_.size() - head_) + output_queue_.size() +
+           snapshots_.size() + pending_antis_.size();
   }
 
-  /// Test hooks: inspect internals.
+  /// Test hooks: inspect internals (live queue range only).
   std::size_t processed_count() const noexcept { return processed_count_; }
-  const std::vector<Event>& input_queue() const noexcept { return queue_; }
+  std::span<const Event> input_queue() const noexcept {
+    return {queue_.data() + head_, queue_.size() - head_};
+  }
   const std::vector<Event>& output_queue() const noexcept {
     return output_queue_;
   }
@@ -195,15 +224,25 @@ class LpRuntime {
  private:
   void rollback(SimTime to_time, InsertResult& res);
 
-  /// Index of the first queue event with recv_time >= t.
+  /// Index (relative to the head cursor) of the first live queue event
+  /// with recv_time >= t.
   std::size_t first_at_or_after(SimTime t) const;
+
+  /// Compact the retired prefix out of the queue when it outgrows the
+  /// live range (amortized O(1) per retired event).
+  void maybe_compact();
+  /// Drop the retired prefix unconditionally (migration export).
+  void compact();
 
   LpId id_ = kInvalidLp;
   LogicalProcess* behavior_ = nullptr;
   std::uint32_t state_period_ = 1;
   std::uint32_t batches_since_snapshot_ = 0;
 
-  std::vector<Event> queue_;       ///< sorted; [0, processed_count_) done
+  /// Sorted; [0, head_) retired (committed, awaiting compaction),
+  /// [head_, head_ + processed_count_) processed, the rest pending.
+  std::vector<Event> queue_;
+  std::size_t head_ = 0;
   std::size_t processed_count_ = 0;
   SimTime last_processed_ = 0;
   bool processed_any_ = false;
@@ -227,6 +266,7 @@ class LpRuntime {
   std::uint64_t max_rollback_depth_ = 0;
   std::uint64_t events_committed_ = 0;
   std::uint64_t sends_committed_ = 0;
+  std::uint64_t lane_work_committed_ = 0;
   std::uint64_t next_event_id_ = 1;
 };
 

@@ -23,6 +23,9 @@ void NodeStats::merge(const NodeStats& o) noexcept {
   lps_migrated_out += o.lps_migrated_out;
   lps_migrated_in += o.lps_migrated_in;
   migration_events_shipped += o.migration_events_shipped;
+  pool_slab_bytes += o.pool_slab_bytes;
+  pool_blocks_recycled += o.pool_blocks_recycled;
+  pool_heap_fallbacks += o.pool_heap_fallbacks;
 }
 
 std::ostream& operator<<(std::ostream& os, const RunStats& s) {

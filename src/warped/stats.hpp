@@ -40,6 +40,11 @@ struct NodeStats {
   std::uint64_t lps_migrated_in = 0;   ///< migration packages installed here
   std::uint64_t migration_events_shipped = 0;  ///< events inside packages
 
+  // Arena-pool accounting (mem/pool.hpp), snapshotted at run end.
+  std::uint64_t pool_slab_bytes = 0;      ///< slab memory reserved
+  std::uint64_t pool_blocks_recycled = 0; ///< free-list hits (carve avoided)
+  std::uint64_t pool_heap_fallbacks = 0;  ///< allocations the pool declined
+
   void merge(const NodeStats& o) noexcept;
 };
 
@@ -53,6 +58,11 @@ struct LpStats {
   std::uint64_t sends_committed = 0;     ///< uncancellable lane transitions
                                          ///< (popcount of each send's mask)
                                          ///< — the warm-up *traffic* signal
+  std::uint64_t lane_work_committed = 0; ///< committed incoming lane
+                                         ///< transitions (input-mask
+                                         ///< popcounts): the lane-aware
+                                         ///< work signal; == events_committed
+                                         ///< in single-lane runs
   std::uint64_t rollbacks = 0;           ///< primary + secondary
   std::uint64_t max_rollback_depth = 0;  ///< most events undone at once
 };

@@ -8,9 +8,12 @@
 // per-node clusters.
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <tuple>
 #include <vector>
+
+#include "mem/words.hpp"
 
 namespace pls::warped {
 
@@ -37,26 +40,70 @@ enum class Sign : std::uint8_t { kPositive, kNegative };
 /// A Time Warp message.  A negative event (anti-message) is the exact twin
 /// of the positive event it cancels: same sender, same id.
 ///
-/// Batched stimulus (64-wide bit-parallel evaluation): `value` carries one
-/// signal bit per lane and `mask` flags the lanes whose value actually
-/// changed — a receiver applies `value` only under `mask`, so one event
-/// serves up to 64 correlated scenarios.  Senders emit an event only when
-/// the mask is non-zero.  The kernel itself never interprets either word:
-/// an anti-message cancels the whole event (all lanes at once), state
-/// saving snapshots full words, and rollback/annihilation match on
-/// (sender, id) exactly as in the scalar model.  Scalar LPs use value bit 0
-/// and the default mask = 1, so a single-bit transition still weighs one
-/// lane-transition in the committed-send accounting.
+/// Batched stimulus (bit-parallel evaluation, up to 256 lanes): the
+/// payload is K words of `value` (one signal bit per lane) plus K words of
+/// `mask` flagging the lanes whose value actually changed — a receiver
+/// applies `value` only under `mask`, so one event serves up to 64·K
+/// correlated scenarios.  Word 0 of each lives inline in `value`/`mask`;
+/// words 1..K-1 ride in `xt`, a width-parameterized extension drawn from
+/// the node-local arena (mem/pool.hpp), laid out as
+/// [value_1..value_{K-1}, mask_1..mask_{K-1}].  K = 1 leaves `xt` empty —
+/// the scalar and 64-lane paths never allocate.  Senders emit an event
+/// only when some mask word is non-zero.  The kernel itself never
+/// interprets the payload: an anti-message cancels the whole event (all
+/// lanes at once), state saving snapshots full words, and
+/// rollback/annihilation match on (sender, id) exactly as in the scalar
+/// model.  Scalar LPs use value bit 0 and the default mask = 1, so a
+/// single-bit transition still weighs one lane-transition in the
+/// committed-send accounting.
 struct Event {
   SimTime recv_time = 0;
   SimTime send_time = 0;
   LpId target = kInvalidLp;
   LpId sender = kInvalidLp;
   std::uint32_t port = 0;     ///< receiver input port (kTickPort = tick)
-  std::uint64_t value = 0;    ///< payload word (one signal bit per lane)
-  std::uint64_t mask = 1;     ///< lanes whose value changed (scalar: bit 0)
   Sign sign = Sign::kPositive;
+  std::uint64_t value = 0;    ///< payload word 0 (one signal bit per lane)
+  std::uint64_t mask = 1;     ///< changed lanes, word 0 (scalar: bit 0)
   std::uint64_t id = 0;       ///< unique per sender; survives rollbacks
+  mem::Words xt;              ///< words 1..K-1 of value, then of mask
+
+  /// Payload width K in 64-lane words (>= 1).
+  std::uint32_t payload_words() const noexcept { return 1 + xt.size() / 2; }
+  /// Grow the payload to K words (new words zero); K = 1 is a no-op.
+  void widen(std::uint32_t k) {
+    if (k > 1) xt.assign(2 * (k - 1), 0);
+  }
+  std::uint64_t value_word(std::uint32_t w) const noexcept {
+    return w == 0 ? value : xt[w - 1];
+  }
+  std::uint64_t mask_word(std::uint32_t w) const noexcept {
+    return w == 0 ? mask : xt[xt.size() / 2 + (w - 1)];
+  }
+  void set_value_word(std::uint32_t w, std::uint64_t v) noexcept {
+    if (w == 0) value = v; else xt[w - 1] = v;
+  }
+  void set_mask_word(std::uint32_t w, std::uint64_t v) noexcept {
+    if (w == 0) mask = v; else xt[xt.size() / 2 + (w - 1)] = v;
+  }
+  /// True if any lane changed (events with an all-zero mask are not sent).
+  bool mask_any() const noexcept {
+    if (mask != 0) return true;
+    const std::uint32_t half = xt.size() / 2;
+    for (std::uint32_t w = half; w < xt.size(); ++w) {
+      if (xt[w] != 0) return true;
+    }
+    return false;
+  }
+  /// Lane transitions this event carries: popcount over all mask words.
+  std::uint64_t mask_popcount() const noexcept {
+    std::uint64_t n = static_cast<std::uint64_t>(std::popcount(mask));
+    const std::uint32_t half = xt.size() / 2;
+    for (std::uint32_t w = half; w < xt.size(); ++w) {
+      n += static_cast<std::uint64_t>(std::popcount(xt[w]));
+    }
+    return n;
+  }
 
   /// Queue ordering: receive time first, then a deterministic tie-break so
   /// queue layout is identical across runs and node counts.
@@ -72,17 +119,20 @@ struct Event {
 
 /// LP state: two fixed words plus an optional wide extension.  Scalar gate
 /// LPs pack input bits into `a` and the output value into `b` and leave `w`
-/// empty, so copy state saving stays a 16-byte copy (plus an empty-vector
-/// copy that never allocates) — the classic Time Warp copy-state discipline
-/// at negligible cost.  Batched (64-wide) gate LPs need one full value word
-/// per fanin, which cannot fit the packed-bit scheme; they keep those lane
-/// words in `w` (w[port] = packed lane values of that fanin) and the output
-/// lane word in `b`.  Snapshots and migration packages copy the whole
+/// empty, so copy state saving stays a trivial 32-byte copy — the classic
+/// Time Warp copy-state discipline at negligible cost.  Batched gate LPs
+/// need one full value word per (fanin, lane word), which cannot fit the
+/// packed-bit scheme; they keep those lane words in `w` (see
+/// src/logicsim/netlist_lps.hpp for the per-behaviour layouts) with the
+/// word-0 output lane word in `b`.  `w` is arena-pooled (mem/words.hpp):
+/// snapshot copies recycle fixed-size blocks from the node-local pool
+/// instead of hitting the heap, and fossil collection reclaims whole runs
+/// of them per sweep.  Snapshots and migration packages copy the whole
 /// struct either way, so rollback restores full words per lane.
 struct LpState {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
-  std::vector<std::uint64_t> w;  ///< wide per-port lane words (batched LPs)
+  mem::Words w;  ///< wide lane words (batched LPs), arena-pooled
 
   friend bool operator==(const LpState&, const LpState&) noexcept = default;
 };

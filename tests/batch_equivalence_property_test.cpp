@@ -64,16 +64,17 @@ logicsim::SeqStats scalar_reference(const circuit::Circuit& c,
   return framework::run_sequential(c, scalar);
 }
 
-/// Check every lane of batched final states against its scalar reference;
-/// returns the total scalar transition count for the accounting check.
-std::uint64_t expect_all_lanes_equal(
+/// Check the given lanes of batched final states against their scalar
+/// references; returns the total scalar transition count of those lanes.
+std::uint64_t expect_lanes_equal(
     const circuit::Circuit& c, const framework::DriverConfig& cfg,
-    const std::vector<warped::LpState>& batched_finals, const char* what) {
+    const std::vector<warped::LpState>& batched_finals, const char* what,
+    const std::vector<unsigned>& lanes_to_check) {
   std::uint64_t scalar_transitions = 0;
-  for (unsigned lane = 0; lane < cfg.lanes; ++lane) {
+  for (unsigned lane : lanes_to_check) {
     const auto ref = scalar_reference(c, cfg, lane);
-    const auto rep = logicsim::check_lane_equivalence(c, batched_finals,
-                                                      lane, ref.final_states);
+    const auto rep = logicsim::check_lane_equivalence(
+        c, batched_finals, lane, cfg.lanes, ref.final_states);
     EXPECT_TRUE(rep.ok()) << what << ": lane " << lane << " diverged from "
                           << "scalar seed "
                           << logicsim::lane_seed(cfg.seed, lane) << ": "
@@ -83,6 +84,32 @@ std::uint64_t expect_all_lanes_equal(
                                           std::uint64_t{0});
   }
   return scalar_transitions;
+}
+
+/// Check every lane of batched final states against its scalar reference.
+std::uint64_t expect_all_lanes_equal(
+    const circuit::Circuit& c, const framework::DriverConfig& cfg,
+    const std::vector<warped::LpState>& batched_finals, const char* what) {
+  std::vector<unsigned> all(cfg.lanes);
+  std::iota(all.begin(), all.end(), 0u);
+  return expect_lanes_equal(c, cfg, batched_finals, what, all);
+}
+
+/// Word-boundary lane sample for multi-word (lanes > 64) runs: the first
+/// and last lane of every value word, plus their neighbours across each
+/// boundary.  Full sweeps stay on the <= 64-lane rows where the scalar
+/// reference runs are cheap; these lanes are where a word-indexing bug
+/// would land (wrong word, off-by-one shift, inactive-lane leakage).
+std::vector<unsigned> boundary_lanes(unsigned lanes) {
+  std::vector<unsigned> out{0, 1, lanes - 1};
+  for (unsigned b = 64; b < lanes; b += 64) {
+    out.push_back(b - 1);
+    out.push_back(b);
+    if (b + 1 < lanes) out.push_back(b + 1);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 struct BatchParam {
@@ -112,10 +139,19 @@ TEST_P(BatchEquivalenceSweep, EveryLaneMatchesItsScalarRun) {
   const auto rep = logicsim::check_equivalence(par.run, seq);
   ASSERT_TRUE(rep.ok()) << rep.describe();
 
-  // Per-lane contract on both backends.
+  // Per-lane contract on both backends.  The sequential sweep covers
+  // every lane (its per-lane totals also feed the accounting check); the
+  // Time Warp side spot-checks word-boundary lanes on multi-word runs —
+  // check_equivalence above already proved its full-word states equal the
+  // sequential ones bit for bit.
   const std::uint64_t scalar_transitions =
       expect_all_lanes_equal(c, cfg, seq.final_states, "sequential");
-  expect_all_lanes_equal(c, cfg, par.run.final_states, "time-warp");
+  if (lanes > 64) {
+    expect_lanes_equal(c, cfg, par.run.final_states, "time-warp",
+                       boundary_lanes(lanes));
+  } else {
+    expect_all_lanes_equal(c, cfg, par.run.final_states, "time-warp");
+  }
 
   // Transition accounting: a batched event carries popcount(mask) lane
   // transitions, so the batched run's committed transition total equals
@@ -131,7 +167,9 @@ INSTANTIATE_TEST_SUITE_P(
                       BatchParam{202, 7, "Random", 3, 1},
                       BatchParam{202, 7, "Random", 3, 4},
                       BatchParam{303, 2, "DFS", 2, 1},
-                      BatchParam{303, 33, "MultilevelHG", 2, 1}),
+                      BatchParam{303, 33, "MultilevelHG", 2, 1},
+                      BatchParam{404, 128, "Multilevel", 4, 1},
+                      BatchParam{505, 192, "Random", 3, 2}),
     [](const auto& info) {
       return "c" + std::to_string(info.param.circuit_seed) + "_l" +
              std::to_string(info.param.lanes) + "_" +
@@ -161,6 +199,27 @@ TEST(BatchEquivalenceExtras, RollbackStormPreservesEveryLane) {
   expect_all_lanes_equal(c, cfg, par.run.final_states, "storm");
 }
 
+TEST(BatchEquivalenceExtras, RollbackStormPreserves128WideLanes) {
+  // The same straggler factory over a two-word payload: cancellations and
+  // re-executions must restore pooled event extensions and wide state
+  // snapshots exactly, in every word.
+  const circuit::Circuit c = random_circuit(404);
+  framework::DriverConfig cfg = fast_config();
+  cfg.lanes = 128;
+  cfg.partitioner = "Random";
+  cfg.num_nodes = 4;
+  cfg.latency_ns = 50000;
+  cfg.throttle.mode = warped::ThrottleMode::kUnlimited;
+  cfg.end_time = 300;
+
+  const auto par = framework::run_parallel(c, cfg);
+  const auto seq = framework::run_sequential(c, cfg);
+  ASSERT_TRUE(logicsim::check_equivalence(par.run, seq).ok());
+  EXPECT_GT(par.run.totals.total_rollbacks(), 0u);
+  expect_lanes_equal(c, cfg, par.run.final_states, "storm128",
+                     boundary_lanes(cfg.lanes));
+}
+
 TEST(BatchEquivalenceExtras, LiveRepartitionPreservesEveryLane) {
   // Dynamic repartitioning at GVT epochs: migrated LPs carry full lane
   // words in their packages, and migration rollbacks cancel whole events.
@@ -178,6 +237,26 @@ TEST(BatchEquivalenceExtras, LiveRepartitionPreservesEveryLane) {
   const auto seq = framework::run_sequential(c, cfg);
   ASSERT_TRUE(logicsim::check_equivalence(par.run, seq).ok());
   expect_all_lanes_equal(c, cfg, par.run.final_states, "repartition");
+}
+
+TEST(BatchEquivalenceExtras, LiveRepartitionPreserves128WideLanes) {
+  // Live migration with two-word payloads: migration packages serialize
+  // pooled event extensions and wide states across node-local arenas.
+  const circuit::Circuit c = random_circuit(505);
+  framework::DriverConfig cfg = fast_config();
+  cfg.lanes = 128;
+  cfg.partitioner = "Multilevel";
+  cfg.num_nodes = 4;
+  cfg.repartition_interval = 2;
+  cfg.repartition_min_gain = 0.0;
+  cfg.repartition_churn_cost = 0.0;
+  cfg.model.stim_drift_at = 150;  // shift the hot region mid-run
+
+  const auto par = framework::run_parallel(c, cfg);
+  const auto seq = framework::run_sequential(c, cfg);
+  ASSERT_TRUE(logicsim::check_equivalence(par.run, seq).ok());
+  expect_lanes_equal(c, cfg, par.run.final_states, "repartition128",
+                     boundary_lanes(cfg.lanes));
 }
 
 TEST(BatchEquivalenceExtras, FaultSimulationKeepsLane0FaultFree) {
@@ -198,18 +277,56 @@ TEST(BatchEquivalenceExtras, FaultSimulationKeepsLane0FaultFree) {
   // with the base seed even with 63 faulty lanes alongside.
   const auto ref = scalar_reference(c, cfg, 0);
   EXPECT_TRUE(logicsim::check_lane_equivalence(c, par.run.final_states, 0,
-                                               ref.final_states)
+                                               cfg.lanes, ref.final_states)
                   .ok());
 
   // Detection readout agrees across backends and finds at least one
   // fault (63 faults over a 250-gate circuit with 400 time units of
   // stimulus; total silence would mean the accumulators are broken).
-  const auto det_par =
-      logicsim::detected_faults(c, cfg.model.faults, par.run.final_states);
-  const auto det_seq =
-      logicsim::detected_faults(c, cfg.model.faults, seq.final_states);
+  const auto det_par = logicsim::detected_faults(c, cfg.model.faults,
+                                                 par.run.final_states,
+                                                 cfg.lanes);
+  const auto det_seq = logicsim::detected_faults(c, cfg.model.faults,
+                                                 seq.final_states, cfg.lanes);
   EXPECT_EQ(det_par, det_seq);
   EXPECT_NE(std::count(det_par.begin(), det_par.end(), true), 0);
+}
+
+TEST(BatchEquivalenceExtras, WideFaultSimulationDetectsAcrossWords) {
+  // 127 faults in one 128-lane pass: fault lanes 65..127 live in value
+  // word 1, so detection must read divergence accumulators beyond the
+  // legacy single-word slots.
+  const circuit::Circuit c = random_circuit(606);
+  framework::DriverConfig cfg = fast_config();
+  cfg.lanes = 128;
+  cfg.partitioner = "Multilevel";
+  cfg.num_nodes = 2;
+  cfg.model.uniform_stimulus = true;
+  cfg.model.faults = logicsim::sample_faults(c, 127, /*seed=*/9);
+  ASSERT_EQ(cfg.model.faults.size(), 127u);
+
+  const auto par = framework::run_parallel(c, cfg);
+  const auto seq = framework::run_sequential(c, cfg);
+  ASSERT_TRUE(logicsim::check_equivalence(par.run, seq).ok());
+
+  const auto ref = scalar_reference(c, cfg, 0);
+  EXPECT_TRUE(logicsim::check_lane_equivalence(c, par.run.final_states, 0,
+                                               cfg.lanes, ref.final_states)
+                  .ok());
+
+  const auto det_par = logicsim::detected_faults(c, cfg.model.faults,
+                                                 par.run.final_states,
+                                                 cfg.lanes);
+  const auto det_seq = logicsim::detected_faults(c, cfg.model.faults,
+                                                 seq.final_states, cfg.lanes);
+  EXPECT_EQ(det_par, det_seq);
+  EXPECT_NE(std::count(det_par.begin(), det_par.end(), true), 0);
+  // The first 63 faults are the same sites as the 64-lane test; the upper
+  // word must contribute detections of its own for word-1 readout to be
+  // exercised (faults 64.. live at bits 65..127).
+  const auto detected_in_upper_word =
+      std::count(det_par.begin() + 64, det_par.end(), true);
+  EXPECT_NE(detected_in_upper_word, 0);
 }
 
 TEST(BatchEquivalenceExtras, SingleLaneBatchedRunMatchesScalarEngine) {
@@ -224,7 +341,7 @@ TEST(BatchEquivalenceExtras, SingleLaneBatchedRunMatchesScalarEngine) {
   wide.lanes = 2;
   const auto seq2 = framework::run_sequential(c, wide);
   const auto rep =
-      logicsim::check_lane_equivalence(c, seq2.final_states, 0,
+      logicsim::check_lane_equivalence(c, seq2.final_states, 0, wide.lanes,
                                        seq1.final_states);
   EXPECT_TRUE(rep.ok()) << rep.describe();
 }

@@ -379,7 +379,7 @@ TEST(BatchGateLp, StuckAtForcesOnlyItsLane) {
   // BUF with lane 1 stuck at 1: power-on announces the forced lane, and
   // later input changes ripple through lane 0 while lane 1 never moves.
   BatchGateLp g(GateType::kBuf, 1, {{3, 0}}, 1, /*lanes=*/2,
-                /*sa_mask=*/0b10, /*sa_value=*/0b10);
+                /*sa_mask=*/{0b10}, /*sa_value=*/{0b10});
   MockContext ctx;
   ctx.state_v = g.initial_state();
   ctx.now_v = 0;
@@ -467,7 +467,7 @@ TEST(BatchInputLp, VectorWordPacksPerLaneSeeds) {
     // Uniform mode broadcasts the base-seed bit to every lane.
     const std::uint64_t u =
         BatchInputLp::vector_word(7, 3, n, 8, /*uniform=*/true);
-    EXPECT_EQ(u, InputLp::vector_bit(7, 3, n) ? ~std::uint64_t{0}
+    EXPECT_EQ(u, InputLp::vector_bit(7, 3, n) ? lane_mask(8)
                                               : std::uint64_t{0});
   }
 }
@@ -562,10 +562,14 @@ TEST(BuildModel, LanesElaborateBatchedBehaviours) {
 TEST(BuildModel, ValidatesLaneAndFaultConfiguration) {
   const auto c = circuit::make_iscas_like("s5378", 3);
   ModelOptions opt;
-  opt.lanes = 65;
+  opt.lanes = kMaxLanes + 1;
   EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
   opt.lanes = 0;
   EXPECT_THROW(build_model(c, opt), pls::util::CheckError);
+  opt.lanes = 65;  // multi-word widths are legal up to kMaxLanes
+  EXPECT_NO_THROW(build_model(c, opt));
+  opt.lanes = kMaxLanes;
+  EXPECT_NO_THROW(build_model(c, opt));
 
   // Faults need lanes >= faults + 1 (lane 0 is the fault-free reference).
   opt.lanes = 1;

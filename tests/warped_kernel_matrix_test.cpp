@@ -187,6 +187,125 @@ Star make_masked_star(LpId spokes, SimTime period) {
   return s;
 }
 
+// ---- multi-word (lanes > 64) variants --------------------------------------
+//
+// Three value words per event (a 192-lane dialect): payload word 0 rides
+// the legacy Event slots and words 1..2 live in the arena-pooled
+// extension, so rollback, anti-messages, snapshot restore and fossil
+// collection all move pooled blocks.  Node-count invariance of the
+// per-word folds proves every word survives the gauntlet.
+
+constexpr std::uint32_t kWideWords = 3;
+
+class WideMaskedHubLp final : public LogicalProcess {
+ public:
+  WideMaskedHubLp(LpId first_spoke, LpId num_spokes, SimTime period)
+      : first_(first_spoke), n_(num_spokes), period_(period) {}
+
+  LpState initial_state() const override {
+    LpState s;
+    s.w.assign(kWideWords, 0);  // per-word fold of echoed (value & mask)
+    return s;
+  }
+
+  void init(Context& ctx) override {
+    if (period_ <= ctx.end_time()) ctx.schedule_self(period_);
+  }
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    bool tick = false;
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) {
+        tick = true;
+        continue;
+      }
+      for (std::uint32_t w = 0; w < kWideWords; ++w) {
+        s.b = s.b * 31 + (e.value_word(w) ^ e.mask_word(w));
+        s.w[w] ^= e.value_word(w) & e.mask_word(w);
+      }
+    }
+    if (!tick) return;
+    s.a += 1;
+    if (ctx.now() + 1 <= ctx.end_time()) {
+      const std::uint64_t v = s.a * 0x9e3779b97f4a7c15ULL;
+      for (LpId i = 0; i < n_; ++i) {
+        std::uint64_t values[kWideWords];
+        std::uint64_t masks[kWideWords];
+        for (std::uint32_t w = 0; w < kWideWords; ++w) {
+          values[w] = v + i + w * 0x100000001b3ULL;
+          // Rotating non-zero per-word masks: each round flips a
+          // different lane subset in every word of every spoke.
+          masks[w] = std::rotl(v | 1, static_cast<int>(i + w * 21));
+        }
+        ctx.send_wide(first_ + i, ctx.now() + 1, 0, values, masks,
+                      kWideWords);
+      }
+    }
+    if (ctx.now() + period_ <= ctx.end_time()) {
+      ctx.schedule_self(ctx.now() + period_);
+    }
+  }
+
+ private:
+  LpId first_;
+  LpId n_;
+  SimTime period_;
+};
+
+class WideMaskedSpokeLp final : public LogicalProcess {
+ public:
+  explicit WideMaskedSpokeLp(LpId hub) : hub_(hub) {}
+
+  LpState initial_state() const override {
+    LpState s;
+    // Words 0..1 extend the lane values (word 0 lives in s.a); word 2 is
+    // the XOR history of every mask word received.
+    s.w.assign(kWideWords, 0);
+    return s;
+  }
+
+  void init(Context&) override {}
+
+  void execute(Context& ctx, EventBatch batch) override {
+    LpState& s = ctx.state();
+    for (const auto& e : batch) {
+      if (e.port == kTickPort) continue;
+      std::uint64_t lane[kWideWords] = {s.a, s.w[0], s.w[1]};
+      for (std::uint32_t w = 0; w < kWideWords; ++w) {
+        lane[w] = (lane[w] & ~e.mask_word(w)) | (e.value_word(w) &
+                                                 e.mask_word(w));
+        s.w[2] ^= e.mask_word(w);
+      }
+      s.a = lane[0];
+      s.w[0] = lane[1];
+      s.w[1] = lane[2];
+      if (ctx.now() + 1 <= ctx.end_time()) {
+        std::uint64_t values[kWideWords];
+        std::uint64_t masks[kWideWords];
+        for (std::uint32_t w = 0; w < kWideWords; ++w) {
+          values[w] = lane[w] ^ (lane[w] >> 3);
+          masks[w] = std::rotl(e.mask_word(w), 1) | 1;
+        }
+        ctx.send_wide(hub_, ctx.now() + 1, 0, values, masks, kWideWords);
+      }
+    }
+  }
+
+ private:
+  LpId hub_;
+};
+
+Star make_wide_masked_star(LpId spokes, SimTime period) {
+  Star s;
+  s.owners.push_back(std::make_unique<WideMaskedHubLp>(1, spokes, period));
+  for (LpId i = 0; i < spokes; ++i) {
+    s.owners.push_back(std::make_unique<WideMaskedSpokeLp>(0));
+  }
+  for (auto& o : s.owners) s.lps.push_back(o.get());
+  return s;
+}
+
 struct MatrixParam {
   std::uint32_t nodes;
   std::uint64_t latency_ns;
@@ -323,6 +442,75 @@ INSTANTIATE_TEST_SUITE_P(
         MatrixParam{4, 40000, 4, 0, ThrottleMode::kUnlimited},
         MatrixParam{8, 10000, 3, 0, ThrottleMode::kUnlimited},
         // Throttled modes must commit the same masked words too.
+        MatrixParam{4, 5000, 8, 15, ThrottleMode::kFixed},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kAdaptive}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.nodes) + "_lat" +
+             std::to_string(info.param.latency_ns / 1000) + "us_sp" +
+             std::to_string(info.param.state_period) + "_w" +
+             std::to_string(info.param.window) + "_" +
+             to_string(info.param.mode);
+    });
+
+// Multi-word events (pooled payload extensions + wide snapshots) through
+// the same rollback gauntlet.
+class WideMaskedKernelMatrix : public ::testing::TestWithParam<MatrixParam> {
+};
+
+TEST_P(WideMaskedKernelMatrix, WideStarResultsAreNodeCountInvariant) {
+  const MatrixParam prm = GetParam();
+  constexpr LpId kSpokes = 14;
+  constexpr SimTime kEnd = 400;
+
+  Star ref_star = make_wide_masked_star(kSpokes, 7);
+  KernelConfig ref_cfg;
+  ref_cfg.end_time = kEnd;
+  Kernel ref_kernel(ref_star.lps, std::vector<std::uint32_t>(kSpokes + 1, 0),
+                    ref_cfg);
+  const RunStats ref = ref_kernel.run();
+
+  // Every word of the hub's fold and every spoke's mask history moved.
+  for (std::uint32_t w = 0; w < kWideWords; ++w) {
+    EXPECT_NE(ref.final_states[0].w.at(w), 0u) << "hub fold word " << w;
+  }
+  for (LpId i = 1; i <= kSpokes; ++i) {
+    EXPECT_NE(ref.final_states[i].w.at(2), 0u) << "spoke " << i;
+  }
+
+  Star star = make_wide_masked_star(kSpokes, 7);
+  KernelConfig cfg;
+  cfg.end_time = kEnd;
+  cfg.num_nodes = prm.nodes;
+  cfg.network.latency_ns = prm.latency_ns;
+  cfg.network.send_overhead_ns = prm.latency_ns / 20;
+  cfg.state_period = prm.state_period;
+  cfg.throttle.mode = prm.mode;
+  cfg.optimism_window = prm.window;
+  cfg.gvt_interval_us = 500;
+  std::vector<std::uint32_t> node_of(kSpokes + 1);
+  for (LpId i = 0; i <= kSpokes; ++i) node_of[i] = i % prm.nodes;
+  Kernel kernel(star.lps, node_of, cfg);
+  const RunStats out = kernel.run();
+
+  ASSERT_EQ(out.final_states.size(), ref.final_states.size());
+  for (std::size_t i = 0; i < ref.final_states.size(); ++i) {
+    EXPECT_EQ(out.final_states[i], ref.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(out.totals.events_committed, ref.totals.events_committed);
+  EXPECT_EQ(out.totals.events_processed,
+            out.totals.events_committed + out.totals.events_rolled_back);
+  EXPECT_EQ(out.final_gvt, kEndOfTime);
+  EXPECT_FALSE(out.out_of_memory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, WideMaskedKernelMatrix,
+    ::testing::Values(
+        // Rollback storms with pooled extensions in flight.
+        MatrixParam{2, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{8, 10000, 3, 0, ThrottleMode::kUnlimited},
+        // Periodic state saving coast-forwards wide snapshots.
         MatrixParam{4, 5000, 8, 15, ThrottleMode::kFixed},
         MatrixParam{4, 20000, 1, 0, ThrottleMode::kAdaptive}),
     [](const auto& info) {

@@ -39,8 +39,8 @@ Event anti_of(const Event& e) {
 
 /// Process the next batch: state is bumped so snapshots are distinguishable.
 void process_next(LpRuntime& rt) {
-  std::vector<Event> batch;
-  const SimTime t = rt.begin_batch(batch);
+  SimTime t = 0;
+  const EventBatch batch = rt.begin_batch(t);
   rt.state().a += batch.size();  // deterministic, observable state change
   rt.state().b = t;
   rt.commit_batch(t, batch.size());
@@ -54,12 +54,14 @@ TEST(LpRuntime, InsertKeepsQueueSortedAndBatchesByTime) {
   rt.insert(ev(10, 0, 2, 3));
   EXPECT_EQ(rt.next_time(), 5u);
 
-  std::vector<Event> batch;
-  EXPECT_EQ(rt.begin_batch(batch), 5u);
+  SimTime t = 0;
+  EventBatch batch = rt.begin_batch(t);
+  EXPECT_EQ(t, 5u);
   EXPECT_EQ(batch.size(), 1u);
   rt.commit_batch(5, 1);
 
-  EXPECT_EQ(rt.begin_batch(batch), 10u);
+  batch = rt.begin_batch(t);
+  EXPECT_EQ(t, 10u);
   EXPECT_EQ(batch.size(), 2u);  // both events at t=10 in one batch
 }
 
@@ -120,8 +122,9 @@ TEST(LpRuntime, EqualTimeStragglerRollsBackThatBatch) {
   EXPECT_TRUE(res.rolled_back);
   EXPECT_EQ(res.rollback_time, 5u);
   EXPECT_EQ(rt.state().a, 0u);  // back to the initial state
-  std::vector<Event> batch;
-  EXPECT_EQ(rt.begin_batch(batch), 5u);
+  SimTime t = 0;
+  const EventBatch batch = rt.begin_batch(t);
+  EXPECT_EQ(t, 5u);
   EXPECT_EQ(batch.size(), 2u);  // both events re-executed together
 }
 
