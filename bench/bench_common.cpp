@@ -69,6 +69,10 @@ void add_common_flags(util::Cli& cli) {
                "adaptive throttle: target rolled-back/processed fraction",
                "0.2");
   cli.add_flag("batch", "LTSF batches per kernel poll", "8");
+  cli.add_flag("coalesce",
+               "per-destination send batching on the inter-node channel "
+               "(false = flush every message as a one-message batch)",
+               "true");
   cli.add_flag("gvt-us", "wall-clock microseconds between GVT rounds",
                "2000");
   cli.add_flag("lanes",
@@ -123,6 +127,7 @@ BenchConfig config_from_cli(const util::Cli& cli) {
   cfg.rollback_budget = cli.get_double("rollback-budget");
   cfg.max_batches_per_poll =
       static_cast<std::uint32_t>(get_flag_u64(cli, "batch", 1, 1 << 20));
+  cfg.coalesce = cli.get_bool("coalesce");
   // Capped well below the kernel's 30 s deadlock watchdog: a GVT interval
   // longer than the watchdog window guarantees a false stall abort.
   cfg.gvt_interval_us = get_flag_u64(cli, "gvt-us", 1, 10'000'000);
@@ -279,6 +284,7 @@ framework::DriverConfig driver_config(const BenchConfig& cfg,
   dc.throttle.target_rollback_fraction = cfg.rollback_budget;
   dc.optimism_window = cfg.optimism_window;
   dc.max_batches_per_poll = cfg.max_batches_per_poll;
+  dc.coalesce = cfg.coalesce;
   dc.gvt_interval_us = cfg.gvt_interval_us;
   dc.lanes = cfg.lanes;
   dc.model.stim_period = cfg.stim_period;

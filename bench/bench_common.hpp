@@ -67,6 +67,12 @@ struct BenchConfig {
   /// LTSF batches per kernel main-loop iteration.
   std::uint32_t max_batches_per_poll = 8;
 
+  /// Send coalescing (--coalesce, default on): per-destination batching of
+  /// inter-node messages (DriverConfig::coalesce).  Committed results are
+  /// bit-identical either way — the flag exists for before/after comm
+  /// benches, not correctness.
+  bool coalesce = true;
+
   /// Wall-clock microseconds between GVT rounds.
   std::uint64_t gvt_interval_us = 2000;
 

@@ -143,6 +143,8 @@ DriverResult run_parallel(const circuit::Circuit& c, const DriverConfig& cfg) {
   kc.event_cost_ns = cfg.event_cost_ns;
   kc.network.send_overhead_ns = cfg.send_overhead_ns;
   kc.network.latency_ns = cfg.latency_ns;
+  kc.coalesce.enabled = cfg.coalesce;
+  kc.coalesce.max_batch_msgs = cfg.coalesce_max_batch;
   kc.gvt_interval_us = cfg.gvt_interval_us;
   kc.state_period = cfg.state_period;
   kc.throttle = cfg.throttle;

@@ -48,6 +48,15 @@ struct DriverConfig {
   std::uint64_t send_overhead_ns = 3000;
   std::uint64_t latency_ns = 50000;
 
+  /// Send coalescing (warped/channel.hpp): per-destination batching of
+  /// inter-node messages on the LTSF-burst path, flushed as one Batch
+  /// per destination.  On by default; committed results are bit-identical
+  /// either way (off routes each message as a one-message batch), so the
+  /// knob exists for A/B runs, not correctness.
+  bool coalesce = true;
+  /// Size bound per destination buffer (messages) before a forced flush.
+  std::uint32_t coalesce_max_batch = 64;
+
   std::uint64_t gvt_interval_us = 2000;
   std::uint32_t state_period = 1;
 

@@ -79,6 +79,9 @@ void event_args(util::JsonWriter& j, const TraceEvent& ev) {
     case TraceKind::kMigrateInstall:
       j.kv("lp", ev.lp).kv("from", ev.a).kv("events", ev.b);
       break;
+    case TraceKind::kFlush:
+      j.kv("msgs", ev.a).kv("batches_total", ev.b);
+      break;
   }
   j.end_object();
 }
@@ -165,6 +168,9 @@ void write_perfetto_trace(std::ostream& os, const ObsSession& session) {
       counter(j, (prefix + "live").c_str(), n, ts_us, g.live_entries);
       counter(j, (prefix + "holding").c_str(), n, ts_us, g.holding_events);
       counter(j, (prefix + "pool_bytes").c_str(), n, ts_us, g.pool_bytes);
+      counter(j, (prefix + "batches").c_str(), n, ts_us, g.batches_sent);
+      counter(j, (prefix + "batch_msgs").c_str(), n, ts_us,
+              g.batch_msgs_sent);
     }
   }
   j.end_array();
@@ -200,6 +206,8 @@ void write_metrics_csv(std::ostream& os, const ObsSession& session) {
       os << t << ',' << n << ",live," << g.live_entries << "\n";
       os << t << ',' << n << ",holding," << g.holding_events << "\n";
       os << t << ',' << n << ",pool_bytes," << g.pool_bytes << "\n";
+      os << t << ',' << n << ",batches," << g.batches_sent << "\n";
+      os << t << ',' << n << ",batch_msgs," << g.batch_msgs_sent << "\n";
     }
   }
 }
@@ -229,6 +237,8 @@ void write_metrics_json(std::ostream& os, const ObsSession& session) {
       j.kv("live", g.live_entries);
       j.kv("holding", g.holding_events);
       j.kv("pool_bytes", g.pool_bytes);
+      j.kv("batches", g.batches_sent);
+      j.kv("batch_msgs", g.batch_msgs_sent);
       j.end_object();
     }
     j.end_array();

@@ -50,6 +50,8 @@ void MetricsSampler::take_sample(std::uint64_t start_ns) {
     out.live_entries = g.live_entries.load(std::memory_order_relaxed);
     out.holding_events = g.holding_events.load(std::memory_order_relaxed);
     out.pool_bytes = g.pool_bytes.load(std::memory_order_relaxed);
+    out.batches_sent = g.batches_sent.load(std::memory_order_relaxed);
+    out.batch_msgs_sent = g.batch_msgs_sent.load(std::memory_order_relaxed);
   }
   samples_.push_back(std::move(s));
 }

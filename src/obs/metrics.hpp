@@ -30,6 +30,10 @@ struct alignas(64) NodeGauges {
   std::atomic<std::uint64_t> live_entries{0};       ///< current live events
   std::atomic<std::uint64_t> holding_events{0};     ///< modeled-network queue
   std::atomic<std::uint64_t> pool_bytes{0};         ///< arena slab bytes
+  std::atomic<std::uint64_t> batches_sent{0};       ///< cumulative flushed
+                                                    ///< batches (channel.hpp)
+  std::atomic<std::uint64_t> batch_msgs_sent{0};    ///< cumulative messages
+                                                    ///< inside them
 };
 
 /// One sampler tick: wall-clock offset, the global GVT, and every node's
@@ -46,6 +50,8 @@ struct MetricsSample {
     std::uint64_t live_entries = 0;
     std::uint64_t holding_events = 0;
     std::uint64_t pool_bytes = 0;
+    std::uint64_t batches_sent = 0;
+    std::uint64_t batch_msgs_sent = 0;
   };
   std::vector<Node> nodes;
 };

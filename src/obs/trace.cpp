@@ -15,6 +15,7 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kMigrateFreeze: return "mig_freeze";
     case TraceKind::kMigrateShip: return "mig_ship";
     case TraceKind::kMigrateInstall: return "mig_install";
+    case TraceKind::kFlush: return "flush";
   }
   return "?";
 }

@@ -45,6 +45,8 @@ enum class TraceKind : std::uint16_t {
   kMigrateFreeze,   ///< span: lp, a = events cancelled at the source
   kMigrateShip,     ///< instant: lp, a = destination node, b = events shipped
   kMigrateInstall,  ///< instant: lp, a = source node, b = events in package
+  kFlush,           ///< instant: a = messages flushed this burst end,
+                    ///<          b = cumulative batches flushed
 };
 
 /// Stable lowercase name used in exports ("exec", "rollback", ...).

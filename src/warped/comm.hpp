@@ -1,5 +1,8 @@
 #pragma once
-// Inter-node communication: mailboxes plus the modeled network.
+// Inter-node communication: message/package payloads, the modeled
+// network, and the receiver-side holding heap.  The transport itself —
+// per-destination send coalescing, lock-free batch mailboxes and the
+// pluggable Channel interface — lives in channel.hpp.
 //
 // The paper's testbed was eight workstations on fast Ethernet — inter-node
 // messages were orders of magnitude more expensive than intra-node event
@@ -8,26 +11,21 @@
 //   * the sender burns `send_overhead_ns` of CPU per inter-node message
 //     (marshalling / protocol stack cost), and
 //   * the message only becomes *deliverable* `latency_ns` of wall-clock
-//     time after the send (wire + switch latency).
+//     time after the send (wire + switch latency; stamped when the
+//     carrying batch flushes).
 // Intra-node events bypass all of this, exactly as LPs inside one WARPED
 // cluster communicated directly.
 //
-// A Mailbox is the receive endpoint of one node: senders append under a
-// mutex; the owner drains everything into its local holding heap and pops
-// entries as their delivery deadline passes.  Message transfer is atomic
-// (the push completes inside the sender's routing step), so "in transit"
-// for the GVT transient-message accounting (gvt.hpp) means exactly
-// "pushed but not yet drained"; every InFlight carries the GVT epoch its
-// sender was in at push time.
+// GVT accounting boundary: a message is "in transit" from the moment the
+// sender buffers it (SendCoalescer::add — where count_send runs and the
+// epoch color is stamped) until the receiver drains it, regardless of
+// when the batch physically flushes.  See channel.hpp and
+// src/warped/README.md.
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <iterator>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "warped/types.hpp"
@@ -43,10 +41,11 @@ struct NetworkModel {
 /// src/warped/README.md for the protocol).  The source node cancels the
 /// LP's speculation past GVT, fossil-collects to GVT, and ships everything
 /// that remains — the committed state at the newest surviving snapshot
-/// plus the pending input events — through the *same* mailbox channel as
-/// events.  Riding the normal channel is what keeps the Mattern
-/// transient-message accounting (gvt.hpp) sound for a package in flight:
-/// it is counted before the push and on the drain like any message, and
+/// plus the pending input events — through the *same* coalesced channel
+/// as events (flushed immediately at ship time, never left buffered).
+/// Riding the normal channel is what keeps the Mattern transient-message
+/// accounting (gvt.hpp) sound for a package in flight:
+/// it is counted before the add and on the drain like any message, and
 /// the carrying InFlight's event.recv_time is the LP's gvt_min_time at
 /// packaging time, so the package holds GVT down until it is installed.
 struct MigrationMsg {
@@ -104,63 +103,23 @@ struct InFlight {
   }
 };
 
-/// Multi-producer single-consumer mailbox.
-class Mailbox {
- public:
-  void push(InFlight msg) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    box_.push_back(std::move(msg));
-    // Inside the critical section so the counter can never run behind a
-    // concurrent drain's fetch_sub and wrap below zero; the reader's
-    // lock-free probe stays at most one poll stale, never forever.
-    approx_size_.fetch_add(1, std::memory_order_release);
-  }
-
-  /// Move everything out (the owner re-buffers not-yet-deliverable
-  /// messages in its holding heap).  Returns the number drained.
-  std::size_t drain(std::vector<InFlight>& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const std::size_t n = box_.size();
-    if (n != 0) {
-      // Reserve up front: a piecemeal grow inside the move-insert would
-      // re-move every InFlight already drained while the senders wait on
-      // the mailbox mutex.
-      out.reserve(out.size() + n);
-      out.insert(out.end(), std::make_move_iterator(box_.begin()),
-                 std::make_move_iterator(box_.end()));
-      box_.clear();
-      approx_size_.fetch_sub(n, std::memory_order_relaxed);
-    }
-    return n;
-  }
-
-  /// Lock-free idle-path check; may lag a concurrent push by one poll.
-  bool probably_empty() const noexcept {
-    return approx_size_.load(std::memory_order_acquire) == 0;
-  }
-
-  bool empty() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return box_.empty();
-  }
-
- private:
-  std::mutex mutex_;
-  std::vector<InFlight> box_;
-  std::atomic<std::size_t> approx_size_{0};
-};
-
 /// Min-heap (by delivery deadline) of in-flight messages held at the
 /// receiver until their deadline passes.  Hand-rolled over a vector, with
-/// the minimum receive timestamp maintained *incrementally* in a counted
-/// multiset mirror: every GVT report needs min_recv_time(), and the old
-/// O(n) scan per report dominated GVT cost on latency-bound runs.  Push
-/// and pop pay O(log n) on the mirror; the report reads the smallest key
-/// in O(1).
+/// the minimum receive timestamp tracked in two flat SimTime min-heaps
+/// using lazy deletion: `times_` holds the recv_time of every message
+/// ever pushed and still notionally live, `dead_` the recv_time of every
+/// popped one; matching tops cancel when the minimum is queried.  The
+/// previous design kept a counted std::map mirror — one node allocation
+/// plus a red-black rebalance per push/pop — which dominated the drain
+/// path once the mailbox went batch-granular.  Here push/pop pay one
+/// push_heap on a flat u64 vector (no allocation beyond amortized vector
+/// growth) and min_recv_time() is O(1) whenever the minimum is live,
+/// amortized O(log n) overall (each entry is pruned at most once).
 class HoldingHeap {
  public:
   void push(InFlight msg) {
-    ++recv_times_[msg.event.recv_time];
+    times_.push_back(msg.event.recv_time);
+    std::push_heap(times_.begin(), times_.end(), std::greater<>{});
     heap_.push_back(std::move(msg));
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
@@ -174,8 +133,9 @@ class HoldingHeap {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     InFlight msg = std::move(heap_.back());
     heap_.pop_back();
-    const auto it = recv_times_.find(msg.event.recv_time);
-    if (--it->second == 0) recv_times_.erase(it);
+    // Lazy deletion: the recv_time mirror entry dies when it surfaces.
+    dead_.push_back(msg.event.recv_time);
+    std::push_heap(dead_.begin(), dead_.end(), std::greater<>{});
     return msg;
   }
 
@@ -186,14 +146,24 @@ class HoldingHeap {
 
   /// Minimum receive timestamp over all held messages (kEndOfTime if
   /// empty); exact, owner-thread only — feeds the owner's GVT report.
-  SimTime min_recv_time() const noexcept {
-    return recv_times_.empty() ? kEndOfTime : recv_times_.begin()->first;
+  /// Non-const: prunes cancelled (popped) entries off the mirror tops.
+  /// Every element of dead_ has a matching element in times_, and both
+  /// are min-heaps, so dead_ can never surface a key below times_'s top;
+  /// equal tops are a cancelled pair.
+  SimTime min_recv_time() noexcept {
+    while (!dead_.empty() && dead_.front() == times_.front()) {
+      std::pop_heap(times_.begin(), times_.end(), std::greater<>{});
+      times_.pop_back();
+      std::pop_heap(dead_.begin(), dead_.end(), std::greater<>{});
+      dead_.pop_back();
+    }
+    return times_.empty() ? kEndOfTime : times_.front();
   }
 
  private:
   std::vector<InFlight> heap_;
-  /// recv_time -> number of held messages carrying it (ordered).
-  std::map<SimTime, std::uint32_t> recv_times_;
+  std::vector<SimTime> times_;  ///< recv_time of every live message
+  std::vector<SimTime> dead_;   ///< recv_time of popped, not yet pruned
 };
 
 }  // namespace pls::warped

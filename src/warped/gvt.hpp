@@ -36,9 +36,13 @@
 // which were produced by processing an event that was itself >= one of the
 // round's minima, and carry a strictly larger receive time.  By induction
 // over the (wall-clock) order of sends, nothing below GVT(R) can ever
-// exist again.  Transfer of a message is atomic here (a mutex-guarded
-// mailbox push), so "in transit" means exactly "pushed but not yet
-// drained", which is what the counters measure.
+// exist again.  "In transit" here means "counted at buffer-add but not
+// yet drain-counted": a message enters the accounting when the sender
+// adds it to its SendCoalescer (count_send runs before the add, epoch
+// color is stamped then) and leaves when the receiver drains it from the
+// channel — batch flushing in between is invisible to the counters, and
+// a buffered send holds the sender's join report down via the
+// coalescer's min_recv_time (see channel.hpp).
 //
 // Two cumulative counters per node indexed by epoch parity suffice: the
 // controller starts round R+1 only after round R completed, so epochs two

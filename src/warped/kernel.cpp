@@ -36,8 +36,8 @@ constexpr std::uint64_t kIdleNapNs = 20'000;
 }  // namespace
 
 /// Per-node state.  Only the owning thread touches anything here except
-/// `mailbox` (the node's multi-producer receive endpoint) and
-/// `exec_ticks` (read by the watchdog).
+/// `exec_ticks` (read by the watchdog); the node's multi-producer
+/// receive endpoint lives in the kernel's Channel, keyed by node id.
 struct Kernel::Cluster {
   std::uint32_t node = 0;
   std::vector<LpId> own_lps;
@@ -53,11 +53,16 @@ struct Kernel::Cluster {
   std::vector<SchedEntry> sched;
   std::vector<SimTime> sched_mark;
 
-  Mailbox mailbox;
   HoldingHeap holding;
   std::vector<InFlight> drain_buf;
   std::deque<Event> pending;  ///< routing work queue (FIFO per channel)
   std::uint64_t net_seq = 0;
+
+  /// Per-destination send buffers (channel.hpp): remote routes add here
+  /// (epoch-stamped and GVT-counted at add time); the main loop flushes
+  /// every destination at each LTSF-burst end, and min_recv_time() joins
+  /// the GVT report so a buffered send holds the estimate down.
+  SendCoalescer coalescer;
 
   // GVT round this node has joined (epoch color of its sends).
   std::uint64_t my_round = 0;
@@ -286,12 +291,23 @@ Kernel::Kernel(std::vector<LogicalProcess*> lps,
   if (cfg_.throttle.mode == ThrottleMode::kAdaptive && base_window == 0) {
     base_window = std::max(cfg_.throttle.min_window, cfg_.end_time / 16);
   }
+  // Transport: the caller's channel, or an in-process one of our own.
+  if (cfg_.channel != nullptr) {
+    PLS_CHECK_MSG(cfg_.channel->endpoints() >= cfg_.num_nodes,
+                  "channel connects fewer endpoints than the kernel has "
+                  "nodes");
+    channel_ = cfg_.channel;
+  } else {
+    own_channel_ = std::make_unique<InProcChannel>(cfg_.num_nodes);
+    channel_ = own_channel_.get();
+  }
   clusters_.reserve(cfg_.num_nodes);
   for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
     clusters_.push_back(std::make_unique<Cluster>());
     clusters_.back()->node = n;
     clusters_.back()->throttle = OptimismThrottle(cfg_.throttle, base_window);
     clusters_.back()->pool = pools_[n].get();
+    clusters_.back()->coalescer.configure(channel_, cfg_.coalesce);
   }
   for (LpId i = 0; i < lps_.size(); ++i) {
     clusters_[node_of_[i]]->own_lps.push_back(i);
@@ -381,10 +397,13 @@ void Kernel::node_main(std::uint32_t node) {
 
   // Routes everything in cl.pending: local events are inserted (possibly
   // rolling their LP back, which enqueues cancellation antis right here);
-  // remote events pay the network model and land in the peer's mailbox,
-  // epoch-tagged and counted for the GVT transient-message accounting.
-  // The route table is re-read per event and per hop, so an event that
-  // chased a migrated LP to its old node simply forwards one more hop.
+  // remote events pay the per-message network overhead and are buffered
+  // in the per-destination send coalescer, epoch-tagged and counted for
+  // the GVT transient-message accounting *at add time* (the batch they
+  // later flush in is invisible to GVT — n buffered messages are n
+  // transients).  The route table is re-read per event and per hop, so an
+  // event that chased a migrated LP to its old node simply forwards one
+  // more hop.
   auto route_pending = [&] {
     while (!cl.pending.empty()) {
       const Event ev = cl.pending.front();
@@ -423,13 +442,17 @@ void Kernel::node_main(std::uint32_t node) {
         if (ev.sign == Sign::kPositive) ++cl.stats.inter_node_messages;
         else ++cl.stats.anti_messages_sent;
         InFlight f;
-        f.deliver_at_ns = steady_now_ns() + latency;
         f.seq = cl.net_seq++;
         f.epoch = cl.my_round;
         f.event = ev;
-        // Count before pushing: the receive counter must never overtake.
+        // Count before buffering: the receive counter must never
+        // overtake, and a buffered white must already be on the books so
+        // its GVT round cannot conclude until the flush drains.
         gvt_coord_.count_send(node, cl.my_round);
-        clusters_[target_node]->mailbox.push(std::move(f));
+        // deliver_at_ns is stamped at flush time (+latency): the wire is
+        // paid when the batch leaves, never earlier.
+        cl.coalescer.add(target_node, std::move(f), steady_now_ns(),
+                         latency);
       }
     }
   };
@@ -441,11 +464,17 @@ void Kernel::node_main(std::uint32_t node) {
     if (r != cl.my_round) {
       // cl.pending is empty here (route_pending ran to completion last
       // iteration), so everything this node owes the world is in its LP
-      // queues or its holding heap — exactly what the report covers.
-      // Whites still in the mailbox are caught by the drain counters.
+      // queues, its holding heap, its limbo, or its send buffers —
+      // exactly what the report covers.  The coalescer term is the GVT
+      // coalescing invariant: a buffered-but-unflushed send must hold
+      // this node's report down (the burst-end flush normally empties
+      // the buffers before we get here, but the report must not depend
+      // on that scheduling detail).  Whites still in a mailbox are
+      // caught by the drain counters.
       SimTime local = cl.gvt_report_min(runtimes_);
       local = std::min(local, cl.holding.min_recv_time());
       local = std::min(local, cl.limbo_min());
+      local = std::min(local, cl.coalescer.min_recv_time());
       gvt_coord_.join(node, r, local);
       cl.last_join_min = local;
       cl.my_round = r;
@@ -492,12 +521,15 @@ void Kernel::node_main(std::uint32_t node) {
     }
 
     // --- receive ----------------------------------------------------------
-    if (!cl.mailbox.probably_empty()) {
+    if (!channel_->probably_empty(node)) {
       cl.drain_buf.clear();
-      cl.mailbox.drain(cl.drain_buf);
+      channel_->drain(node, cl.drain_buf);
       for (auto& f : cl.drain_buf) {
         // Rounds serialize, so a drained message is at most one epoch away
-        // from the receiver's color in either direction.
+        // from the receiver's color in either direction.  Each message of
+        // a batch is drained individually — a batch of n counts as n in
+        // the transient accounting, mirroring the n count_send calls at
+        // buffer time.
         PLS_DCHECK(f.epoch + 1 >= cl.my_round && f.epoch <= cl.my_round + 1);
         gvt_coord_.count_drain(node, f.epoch, cl.my_round,
                                f.event.recv_time);
@@ -561,6 +593,20 @@ void Kernel::node_main(std::uint32_t node) {
       route_pending();
       executed = true;
     }
+    // Burst-end flush: everything routed remotely during this poll —
+    // receive-path forwards included — leaves as one batch per
+    // destination.  This is the coalescing fabric's primary flush point:
+    // it bounds buffering latency to one poll and guarantees the send
+    // buffers are empty at the next GVT join (liveness — an unflushed
+    // white would otherwise hold its round open forever).
+    if (cl.coalescer.buffered() != 0) {
+      const std::uint64_t fns = steady_now_ns();
+      const std::size_t flushed = cl.coalescer.flush_all(fns, latency);
+      if (flushed != 0 && cl.trace != nullptr) {
+        cl.trace->record(obs::TraceKind::kFlush, fns, 0, flushed,
+                         cl.coalescer.stats().batches_flushed);
+      }
+    }
     // Only a throttled-and-otherwise-idle node asks for an early GVT
     // round: while batches still execute, the normal cadence is fine.
     cl.window_blocked.store(!executed && blocked_by_window,
@@ -584,6 +630,9 @@ void Kernel::node_main(std::uint32_t node) {
       g.holding_events.store(cl.holding.size(), std::memory_order_relaxed);
       g.pool_bytes.store(cl.pool->snapshot().slab_bytes,
                          std::memory_order_relaxed);
+      const CoalesceStats& cs = cl.coalescer.stats();
+      g.batches_sent.store(cs.batches_flushed, std::memory_order_relaxed);
+      g.batch_msgs_sent.store(cs.msgs_flushed, std::memory_order_relaxed);
     }
     if (executed) {
       ++cl.stats.exec_polls;
@@ -610,6 +659,10 @@ void Kernel::node_main(std::uint32_t node) {
       }
     }
   }
+  // Defensive: the loop exits right after a burst-end flush with nothing
+  // added since, so this is normally a no-op — but the final sweep in
+  // run() must never find a message stranded in a send buffer.
+  cl.coalescer.flush_all(steady_now_ns(), latency);
 }
 
 void Kernel::controller_poll(std::uint64_t now_ns) {
@@ -844,16 +897,19 @@ void Kernel::emigrate_planned(Cluster& cl) {
       util::busy_spin_ns(cfg_.network.send_overhead_ns);
     }
     InFlight f;
-    f.deliver_at_ns = steady_now_ns() + latency;
     f.seq = cl.net_seq++;
     f.epoch = cl.my_round;
     f.event.recv_time = pkg_min;
     f.event.target = lp;
     f.event.sender = lp;
     f.migration = std::move(msg);
-    // Count before pushing, like any send.
+    // Count before buffering, like any send — then force the flush:
+    // migration ship is one of the mandatory flush points, so a package
+    // never sits in a send buffer behind the route flip.
     gvt_coord_.count_send(cl.node, cl.my_round);
-    clusters_[dest]->mailbox.push(std::move(f));
+    const std::uint64_t ship_ns = steady_now_ns();
+    cl.coalescer.add(dest, std::move(f), ship_ns, latency);
+    cl.coalescer.flush_dest(dest, ship_ns, latency);
     // Swap-erase: own_lps order carries no meaning.
     cl.own_lps[i] = cl.own_lps.back();
     cl.own_lps.pop_back();
@@ -1104,10 +1160,14 @@ RunStats Kernel::run() {
     // still sit in a mailbox or holding heap here.  Install those now —
     // their replay batches and committed counters belong to the run.  Any
     // *event* still in flight at this point would disprove GVT soundness.
+    // (Send buffers were flushed when each node_main exited, so the
+    // channel drain below sees everything.)
     for (std::uint32_t n = 0; n < cfg_.num_nodes; ++n) {
       Cluster& cl = *clusters_[n];
+      PLS_CHECK_MSG(cl.coalescer.buffered() == 0,
+                    "send buffer left unflushed after node exit");
       cl.drain_buf.clear();
-      cl.mailbox.drain(cl.drain_buf);
+      channel_->drain(n, cl.drain_buf);
       for (auto& f : cl.drain_buf) cl.holding.push(std::move(f));
       while (!cl.holding.empty()) {
         InFlight f = cl.holding.pop();
@@ -1178,6 +1238,10 @@ RunStats Kernel::run() {
     const ThrottleSummary ts = cl.throttle.summary();
     cl.stats.throttle_shrinks = ts.shrinks;
     cl.stats.throttle_grows = ts.grows;
+    const CoalesceStats cs = cl.coalescer.stats();
+    cl.stats.batches_sent = cs.batches_flushed;
+    cl.stats.batch_msgs_sent = cs.msgs_flushed;
+    cl.stats.max_batch_msgs = cs.max_batch_msgs;
     const mem::PoolStats ps = cl.pool->snapshot();
     cl.stats.pool_slab_bytes = ps.slab_bytes;
     cl.stats.pool_blocks_recycled = ps.recycled;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/pool.hpp"
+#include "warped/channel.hpp"
 #include "warped/comm.hpp"
 #include "warped/gvt.hpp"
 #include "warped/lp.hpp"
@@ -69,6 +70,19 @@ struct KernelConfig {
 
   /// Inter-node communication model (see comm.hpp).
   NetworkModel network;
+
+  /// Send-side coalescing (channel.hpp): per-destination buffers flushed
+  /// as one Batch per destination at LTSF-burst end (plus the size/age
+  /// bounds).  Committed results are bit-identical enabled or disabled;
+  /// disabled routes every message as a one-message batch for clean
+  /// comparisons.
+  CoalesceConfig coalesce;
+
+  /// Inter-node transport (non-owning; must outlive run() and connect at
+  /// least num_nodes endpoints).  Null — the default — makes the kernel
+  /// construct its own InProcChannel; a distributed backend passes its
+  /// own implementation here without the kernel changing.
+  Channel* channel = nullptr;
 
   /// Wall-clock interval between GVT round starts.
   std::uint64_t gvt_interval_us = 2000;
@@ -151,6 +165,10 @@ class Kernel {
   std::vector<LogicalProcess*> lps_;
   std::vector<std::uint32_t> node_of_;
   KernelConfig cfg_;
+
+  /// The transport in use: cfg_.channel, or own_channel_ when null.
+  std::unique_ptr<InProcChannel> own_channel_;
+  Channel* channel_ = nullptr;
 
   /// Per-node arenas for wide event payloads and state words.  Declared
   /// *before* runtimes_ on purpose: members destroy in reverse order, so

@@ -14,6 +14,9 @@ void NodeStats::merge(const NodeStats& o) noexcept {
   inter_node_messages += o.inter_node_messages;
   intra_node_events += o.intra_node_events;
   anti_messages_sent += o.anti_messages_sent;
+  batches_sent += o.batches_sent;
+  batch_msgs_sent += o.batch_msgs_sent;
+  max_batch_msgs = std::max(max_batch_msgs, o.max_batch_msgs);
   idle_polls += o.idle_polls;
   idle_sleeps += o.idle_sleeps;
   peak_live_entries = std::max(peak_live_entries, o.peak_live_entries);
@@ -38,7 +41,15 @@ std::ostream& operator<<(std::ostream& os, const RunStats& s) {
      << ")"
      << " app_msgs=" << s.totals.inter_node_messages
      << " antis=" << s.totals.anti_messages_sent
-     << " gvt_cycles=" << s.gvt_cycles
+     << " gvt_cycles=" << s.gvt_cycles;
+  if (s.totals.batches_sent > 0) {
+    // Realized coalescing factor: messages per flushed batch.
+    os << " batches=" << s.totals.batches_sent << " (avg "
+       << static_cast<double>(s.totals.batch_msgs_sent) /
+              static_cast<double>(s.totals.batches_sent)
+       << " msgs, max " << s.totals.max_batch_msgs << ")";
+  }
+  os
      // Batching effectiveness: events per executing poll ≈ processed /
      // exec_polls; 1.0 means LTSF batching bought nothing.
      << " exec_polls=" << s.totals.exec_polls;

@@ -27,6 +27,13 @@ struct NodeStats {
   std::uint64_t intra_node_events = 0;    ///< direct local deliveries
   std::uint64_t anti_messages_sent = 0;
 
+  // Coalescing comm fabric (channel.hpp): flushed batch counts.
+  // batch_msgs_sent / batches_sent is the realized coalescing factor;
+  // 1.0 means batching bought nothing (or was disabled).
+  std::uint64_t batches_sent = 0;     ///< coalesced batches flushed
+  std::uint64_t batch_msgs_sent = 0;  ///< messages inside those batches
+  std::uint64_t max_batch_msgs = 0;   ///< largest single batch
+
   std::uint64_t idle_polls = 0;   ///< main-loop spins with nothing to do
   std::uint64_t idle_sleeps = 0;  ///< idle-backoff naps (core released)
   std::size_t peak_live_entries = 0;  ///< memory high-water mark

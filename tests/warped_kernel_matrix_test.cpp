@@ -521,6 +521,77 @@ INSTANTIATE_TEST_SUITE_P(
              to_string(info.param.mode);
     });
 
+// Send coalescing on vs off through the same rollback gauntlet: batching
+// only changes *when* messages cross the channel (one Batch per
+// destination per burst vs a one-message batch per send), never what the
+// receiver eventually commits.  Bit-identical final states and committed
+// totals prove the coalescer's GVT obligations (epoch color and
+// count_send at add time, min_recv_time in the join report, burst-end
+// flush) hold under rollback storms at every node count.
+class CoalesceKernelMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(CoalesceKernelMatrix, CoalescingOnOffResultsAreBitIdentical) {
+  const MatrixParam prm = GetParam();
+  constexpr LpId kSpokes = 14;
+  constexpr SimTime kEnd = 400;
+
+  auto run_once = [&](bool coalesce) {
+    Star star = make_star(kSpokes, 7);
+    KernelConfig cfg;
+    cfg.end_time = kEnd;
+    cfg.num_nodes = prm.nodes;
+    cfg.network.latency_ns = prm.latency_ns;
+    cfg.network.send_overhead_ns = prm.latency_ns / 20;
+    cfg.state_period = prm.state_period;
+    cfg.throttle.mode = prm.mode;
+    cfg.optimism_window = prm.window;
+    cfg.gvt_interval_us = 500;
+    cfg.coalesce.enabled = coalesce;
+    std::vector<std::uint32_t> node_of(kSpokes + 1);
+    for (LpId i = 0; i <= kSpokes; ++i) node_of[i] = i % prm.nodes;
+    Kernel kernel(star.lps, node_of, cfg);
+    return kernel.run();
+  };
+
+  const RunStats off = run_once(false);
+  const RunStats on = run_once(true);
+
+  ASSERT_EQ(on.final_states.size(), off.final_states.size());
+  for (std::size_t i = 0; i < off.final_states.size(); ++i) {
+    EXPECT_EQ(on.final_states[i], off.final_states[i]) << "LP " << i;
+  }
+  EXPECT_EQ(on.totals.events_committed, off.totals.events_committed);
+  EXPECT_EQ(on.final_gvt, kEndOfTime);
+  EXPECT_EQ(off.final_gvt, kEndOfTime);
+
+  // Both modes route through the batch path; disabled mode degenerates to
+  // one message per batch by construction.  (No lower bound is asserted
+  // on the enabled mode's batch sizes: under heavy sanitizer slowdown the
+  // age bound can legally flush singletons.)
+  EXPECT_EQ(off.totals.batch_msgs_sent, off.totals.batches_sent);
+  EXPECT_GT(on.totals.batch_msgs_sent, 0u);
+  EXPECT_LE(on.totals.batches_sent, on.totals.batch_msgs_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, CoalesceKernelMatrix,
+    ::testing::Values(
+        // Rollback storms: zero window, unlimited optimism, rising latency.
+        MatrixParam{2, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kUnlimited},
+        MatrixParam{4, 40000, 4, 0, ThrottleMode::kUnlimited},
+        MatrixParam{8, 10000, 3, 0, ThrottleMode::kUnlimited},
+        // Throttled modes must commit the same results too.
+        MatrixParam{4, 5000, 8, 15, ThrottleMode::kFixed},
+        MatrixParam{4, 20000, 1, 0, ThrottleMode::kAdaptive}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.nodes) + "_lat" +
+             std::to_string(info.param.latency_ns / 1000) + "us_sp" +
+             std::to_string(info.param.state_period) + "_w" +
+             std::to_string(info.param.window) + "_" +
+             to_string(info.param.mode);
+    });
+
 TEST(KernelMatrixExtras, TracingDoesNotChangeCommittedResults) {
   // Observability is pure observation: the same star with tracing and the
   // metrics sampler enabled must commit bit-identical results.
